@@ -1,0 +1,389 @@
+package eventhit_test
+
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per experiment, reduced sizes), plus micro-benchmarks of
+// the hot components. Run:
+//
+//	go test -bench=. -benchmem -benchtime=1x
+//
+// The experiment benchmarks report the headline numbers (REC, SPL, FPS,
+// stage shares) as custom metrics so a bench run doubles as a smoke-level
+// reproduction.
+
+import (
+	"io"
+	"testing"
+
+	"eventhit/internal/conformal"
+	"eventhit/internal/core"
+	"eventhit/internal/dataset"
+	"eventhit/internal/features"
+	"eventhit/internal/harness"
+	"eventhit/internal/mathx"
+	"eventhit/internal/nn"
+	"eventhit/internal/strategy"
+	"eventhit/internal/video"
+)
+
+// BenchmarkTable1 regenerates Table I (dataset statistics).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Table1(2, 1, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 12 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table II (task definitions).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(harness.Table2(io.Discard)) != 16 {
+			b.Fatal("tasks")
+		}
+	}
+}
+
+// benchFig4 runs one Figure 4 panel at reduced size.
+func benchFig4(b *testing.B, taskName string) {
+	b.Helper()
+	task, err := harness.TaskByName(taskName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last *harness.Fig4Result
+	for i := 0; i < b.N; i++ {
+		last, err = harness.Fig4(task, harness.Quick(), 1, 1, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	ehcr := last.Curves["EHCR"]
+	b.ReportMetric(ehcr[len(ehcr)-1].REC, "EHCR-maxREC")
+	b.ReportMetric(last.Points["EHO"].REC, "EHO-REC")
+	b.ReportMetric(last.Points["EHO"].SPL, "EHO-SPL")
+}
+
+// BenchmarkFig4_TA1 regenerates Figure 4a (VIRAT, E1).
+func BenchmarkFig4_TA1(b *testing.B) { benchFig4(b, "TA1") }
+
+// BenchmarkFig4_TA5 regenerates Figure 4e (VIRAT, the hard Group 2 event).
+func BenchmarkFig4_TA5(b *testing.B) { benchFig4(b, "TA5") }
+
+// BenchmarkFig4_TA7 regenerates Figure 4g (multi-event VIRAT task).
+func BenchmarkFig4_TA7(b *testing.B) { benchFig4(b, "TA7") }
+
+// BenchmarkFig4_TA10 regenerates Figure 4j (THUMOS).
+func BenchmarkFig4_TA10(b *testing.B) { benchFig4(b, "TA10") }
+
+// BenchmarkFig4_TA13 regenerates Figure 4m (Breakfast, incl. APP-VAE).
+func BenchmarkFig4_TA13(b *testing.B) { benchFig4(b, "TA13") }
+
+// BenchmarkFig5 regenerates Figure 5 (EHC sweep of c).
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig5(harness.Quick(), 1, 1, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6 (EHR sweep of alpha).
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig6(harness.Quick(), 1, 1, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7 (hyper-parameter sensitivity) on a
+// reduced grid.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig7(harness.Quick(), true, []int{10, 50}, 1, 1, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := harness.Fig7(harness.Quick(), false, []int{200, 500}, 1, 1, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8 (monetary case study).
+func BenchmarkFig8(b *testing.B) {
+	var pts []harness.Fig8Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = harness.Fig8(harness.Quick(), 1, 1, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		if p.Algorithm == "BF" {
+			b.ReportMetric(p.USD, "BF-USD")
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates Figure 9 (REC vs FPS pipeline runs).
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig9(harness.Quick(), 1, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10 (stage time shares).
+func BenchmarkFig10(b *testing.B) {
+	var res *harness.Fig10Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = harness.Fig10(harness.Quick(), 0.8, 1, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.CIShare, "CI-%")
+	b.ReportMetric(100*res.ScanShare, "features-%")
+}
+
+// ---- micro-benchmarks of the substrates ----
+
+// BenchmarkStreamGenerate measures full-stream generation (VIRAT, 300k
+// frames, 6 event types).
+func BenchmarkStreamGenerate(b *testing.B) {
+	g := mathx.NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		video.Generate(video.VIRAT(), g)
+	}
+}
+
+// BenchmarkBuildRecord measures covariate extraction + labeling for one
+// record (M=25, D=21).
+func BenchmarkBuildRecord(b *testing.B) {
+	st := video.Generate(video.VIRAT(), mathx.NewRNG(1))
+	ex, err := features.NewExtractor(st, []int{0, 4, 5}, features.DefaultDetector(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := dataset.Config{Window: 25, Horizon: 500}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.BuildRecord(ex, 1000+(i%1000), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLSTMForward measures the shared encoder (M=25, D=12, H=24).
+func BenchmarkLSTMForward(b *testing.B) {
+	g := mathx.NewRNG(1)
+	l := nn.NewLSTM("l", 12, 24, g)
+	seq := make([][]float64, 25)
+	for i := range seq {
+		seq[i] = make([]float64, 12)
+		for j := range seq[i] {
+			seq[i][j] = g.Normal(0, 1)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Forward(seq)
+	}
+}
+
+// BenchmarkModelPredict measures one full EventHit inference (the
+// per-horizon cost the paper reports as negligible, §VI.H).
+func BenchmarkModelPredict(b *testing.B) {
+	cfg := core.DefaultConfig(12, 25, 500, 1)
+	m, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := mathx.NewRNG(1)
+	x := make([][]float64, 25)
+	for i := range x {
+		x[i] = make([]float64, 12)
+		for j := range x[i] {
+			x[i][j] = g.Float64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(x)
+	}
+}
+
+// BenchmarkTrainRecord measures one training step (forward + backward +
+// loss) on a single record.
+func BenchmarkTrainRecord(b *testing.B) {
+	cfg := core.DefaultConfig(12, 25, 500, 1)
+	m, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := mathx.NewRNG(1)
+	x := make([][]float64, 25)
+	for i := range x {
+		x[i] = make([]float64, 12)
+		for j := range x[i] {
+			x[i][j] = g.Float64()
+		}
+	}
+	rec := dataset.Record{
+		X:        x,
+		Label:    []bool{true},
+		OI:       []video.Interval{{Start: 100, End: 180}},
+		Censored: []bool{false},
+	}
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = 1
+	tc.BatchSize = 1
+	recs := []dataset.Record{rec}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Train(recs, tc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConformalPValue measures one C-CLASSIFY p-value lookup.
+func BenchmarkConformalPValue(b *testing.B) {
+	g := mathx.NewRNG(1)
+	n := 500
+	calibB := make([][]float64, n)
+	calibL := make([][]bool, n)
+	for i := range calibB {
+		calibB[i] = []float64{g.Float64()}
+		calibL[i] = []bool{g.Bernoulli(0.4)}
+	}
+	calibL[0][0] = true
+	c, err := conformal.NewClassifier(calibB, calibL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.PValue(0, g.Float64())
+	}
+}
+
+// BenchmarkCoxFit measures fitting the Cox baseline on 300 records.
+func BenchmarkCoxFit(b *testing.B) {
+	st := video.Generate(video.THUMOS(), mathx.NewRNG(1))
+	ex, err := features.NewExtractor(st, []int{0}, features.DefaultDetector(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	splits, err := dataset.Build(ex, dataset.SampleConfig{
+		Config: dataset.Config{Window: 10, Horizon: 200},
+		NTrain: 300, NCCalib: 1, NRCalib: 1, NTest: 1,
+		TrainPosFrac: 0.5,
+	}, mathx.NewRNG(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := strategy.FitCox(splits.Train, 200, 0.5, strategy.DefaultCoxConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations runs the design-choice ablation suite on TA10.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Ablations("TA10", harness.Quick(), 1, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiInstance runs the footnote-1 multi-instance experiment on
+// the dense industrial stream.
+func BenchmarkMultiInstance(b *testing.B) {
+	var res *harness.MultiResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = harness.MultiExperiment(harness.Quick(), 1, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.MeanInstancesPerHorizon, "instances/horizon")
+}
+
+// BenchmarkDriftExperiment runs the §VIII drift-adaptation extension.
+func BenchmarkDriftExperiment(b *testing.B) {
+	var res *harness.DriftResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = harness.DriftExperiment("TA10", harness.Quick(), 0.9, 1, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.CoverageBefore, "coverage-pre")
+	b.ReportMetric(res.CoverageAfter, "coverage-post")
+	b.ReportMetric(res.CoverageRestored, "coverage-restored")
+}
+
+// BenchmarkValidity runs the Theorem 4.2/5.2 empirical verification.
+func BenchmarkValidity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Validity("TA10", harness.Quick(), 1, 1, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGeometric runs the covariate-family comparison.
+func BenchmarkGeometric(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.GeometricExperiment("TA10", harness.Quick(), 1, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOperate runs the continuous-operation integration scenario.
+func BenchmarkOperate(b *testing.B) {
+	var res *harness.OperateResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = harness.Operate("TA10", harness.Quick(), 0.9, 0.9, 1000, 1, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.RecallRealized, "realized-REC")
+	b.ReportMetric(res.SpentUSD, "spend-$")
+}
+
+// BenchmarkDensity runs the event-density sensitivity sweep.
+func BenchmarkDensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Density(harness.Quick(), []float64{1, 2}, 1, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSummary runs the 16-task headline table at minimal sizes.
+func BenchmarkSummary(b *testing.B) {
+	o := harness.Quick()
+	o.NTrain, o.Epochs = 100, 2
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Summary(o, 1, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

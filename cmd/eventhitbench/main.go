@@ -1,0 +1,154 @@
+// Command eventhitbench regenerates the tables and figures of the paper's
+// evaluation (§VI). Each experiment prints the same rows/series the paper
+// reports, computed on the simulated workloads.
+//
+// Usage:
+//
+//	eventhitbench -exp table1
+//	eventhitbench -exp fig4 -task TA1 -trials 3
+//	eventhitbench -exp fig7 -trials 2
+//	eventhitbench -exp all -quick
+//
+// Paper experiments: table1, table2, fig4 (one task), fig4all, fig5..fig10,
+// resources, loss. Extensions: ablation, drift, multi, geom, validity,
+// operate, tune, summary. "all" runs the paper set plus the extensions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"eventhit/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment to run (table1, table2, fig4[all], fig5..fig10, resources, ablation, drift, multi, geom, validity, operate, tune, summary, loss, all)")
+		task    = flag.String("task", "TA1", "task for single-task experiments (fig4, resources, loss)")
+		trials  = flag.Int("trials", 3, "independent trials to average (the paper uses 10)")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		quick   = flag.Bool("quick", false, "use reduced dataset/epoch sizes")
+		window  = flag.Int("window", 0, "override collection window M (0 = dataset default)")
+		horizon = flag.Int("horizon", 0, "override time horizon H (0 = dataset default)")
+	)
+	flag.Parse()
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opt := harness.DefaultOptions()
+	if *quick {
+		opt = harness.Quick()
+	}
+	opt.Window = *window
+	opt.Horizon = *horizon
+
+	run := func(name string) error {
+		t0 := time.Now()
+		defer func() {
+			fmt.Fprintf(os.Stderr, "[%s done in %s]\n", name, time.Since(t0).Round(time.Millisecond))
+		}()
+		switch name {
+		case "table1":
+			_, err := harness.Table1(*trials, *seed, os.Stdout)
+			return err
+		case "table2":
+			harness.Table2(os.Stdout)
+			return nil
+		case "fig4":
+			t, err := harness.TaskByName(*task)
+			if err != nil {
+				return err
+			}
+			_, err = harness.Fig4(t, opt, *trials, *seed, os.Stdout)
+			return err
+		case "fig4all":
+			for _, t := range harness.Tasks() {
+				if _, err := harness.Fig4(t, opt, *trials, *seed, os.Stdout); err != nil {
+					return err
+				}
+			}
+			return nil
+		case "fig5":
+			_, err := harness.Fig5(opt, *trials, *seed, os.Stdout)
+			return err
+		case "fig6":
+			_, err := harness.Fig6(opt, *trials, *seed, os.Stdout)
+			return err
+		case "fig7":
+			if _, err := harness.Fig7(opt, true, harness.Fig7Windows(), *trials, *seed, os.Stdout); err != nil {
+				return err
+			}
+			_, err := harness.Fig7(opt, false, harness.Fig7Horizons(), *trials, *seed, os.Stdout)
+			return err
+		case "fig8":
+			_, err := harness.Fig8(opt, *trials, *seed, os.Stdout)
+			return err
+		case "fig9":
+			_, err := harness.Fig9(opt, *seed, os.Stdout)
+			return err
+		case "fig10":
+			_, err := harness.Fig10(opt, 0.9, *seed, os.Stdout)
+			return err
+		case "transfer":
+			_, err := harness.Transfer(*task, opt, 3, *seed, os.Stdout)
+			return err
+		case "density":
+			_, err := harness.Density(opt, nil, *seed, os.Stdout)
+			return err
+		case "operate":
+			_, err := harness.Operate(*task, opt, 0.9, 0.9, 100, *seed, os.Stdout)
+			return err
+		case "validity":
+			_, err := harness.Validity(*task, opt, *trials, *seed, os.Stdout)
+			return err
+		case "tune":
+			_, err := harness.TuneExperiment(*task, opt, *seed, os.Stdout)
+			return err
+		case "geom":
+			_, err := harness.GeometricExperiment(*task, opt, *seed, os.Stdout)
+			return err
+		case "summary":
+			_, err := harness.Summary(opt, *seed, os.Stdout)
+			return err
+		case "multi":
+			_, err := harness.MultiExperiment(opt, *seed, os.Stdout)
+			return err
+		case "drift":
+			_, err := harness.DriftExperiment(*task, opt, 0.9, *seed, os.Stdout)
+			return err
+		case "ablation":
+			_, err := harness.Ablations(*task, opt, *seed, os.Stdout)
+			return err
+		case "resources":
+			t, err := harness.TaskByName(*task)
+			if err != nil {
+				return err
+			}
+			_, err = harness.Resources(t, opt, *seed, os.Stdout)
+			return err
+		case "loss":
+			t, err := harness.TaskByName(*task)
+			if err != nil {
+				return err
+			}
+			_, err = harness.TrainLossCurve(t, opt, *seed, os.Stdout)
+			return err
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "resources", "ablation", "drift", "multi", "geom", "validity", "operate"}
+	}
+	for _, name := range names {
+		if err := run(name); err != nil {
+			fmt.Fprintf(os.Stderr, "eventhitbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

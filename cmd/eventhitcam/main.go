@@ -1,0 +1,107 @@
+// Command eventhitcam is the camera-side half of the Figure 1 deployment:
+// it simulates a camera + local detector, streams covariates to a running
+// eventhitserve instance, requests one marshalling decision per horizon,
+// and prints the relay decisions and running totals.
+//
+//	eventhitserve -task TA10 -addr :8080      # terminal 1
+//	eventhitcam -server http://localhost:8080 -task TA10 -horizons 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eventhit/internal/features"
+	"eventhit/internal/harness"
+	"eventhit/internal/mathx"
+	"eventhit/internal/serve"
+	"eventhit/internal/video"
+)
+
+func main() {
+	var (
+		server   = flag.String("server", "http://localhost:8080", "eventhitserve base URL")
+		task     = flag.String("task", "TA10", "Table II task (must match the server's)")
+		horizons = flag.Int("horizons", 20, "number of horizons to stream")
+		seed     = flag.Int64("seed", 99, "camera stream seed")
+		conf     = flag.Float64("confidence", 0, "override server confidence (0 = server default)")
+		cov      = flag.Float64("coverage", 0, "override server coverage (0 = server default)")
+	)
+	flag.Parse()
+
+	t, err := harness.TaskByName(*task)
+	if err != nil {
+		fatal(err)
+	}
+	st := video.Generate(t.Dataset, mathx.NewRNG(*seed))
+	ex, err := features.NewExtractor(st, t.EventIdx, features.DefaultDetector(), *seed)
+	if err != nil {
+		fatal(err)
+	}
+	c := serve.NewClient(*server, nil)
+	if !c.Healthy() {
+		fatal(fmt.Errorf("server %s not healthy — is eventhitserve running?", *server))
+	}
+	window, horizon := t.Dataset.Window, t.Dataset.Horizon
+	fmt.Printf("streaming %s to %s: M=%d H=%d, %d horizons\n\n", t.Name, *server, window, horizon, *horizons)
+
+	frame := 0
+	push := func(upto int) error {
+		var batch [][]float64
+		for ; frame < upto; frame++ {
+			batch = append(batch, ex.FrameVector(frame, nil))
+			if len(batch) == 256 {
+				if _, err := c.PushFrames(batch); err != nil {
+					return err
+				}
+				batch = batch[:0]
+			}
+		}
+		if len(batch) > 0 {
+			if _, err := c.PushFrames(batch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := push(window); err != nil {
+		fatal(err)
+	}
+	for h := 0; h < *horizons && frame+horizon < st.N; h++ {
+		resp, err := c.Predict(*conf, *cov)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range resp.Decisions {
+			if d.Relay {
+				// check against ground truth for the operator's benefit
+				truth := "no event (spillage)"
+				for _, idx := range t.EventIdx {
+					if _, ok := st.FirstOverlapping(idx, video.Interval{Start: d.Start, End: d.End}); ok {
+						truth = "event confirmed"
+						break
+					}
+				}
+				fmt.Printf("horizon %3d  %-40s relay [%d,%d] -> %s\n", h, d.Event, d.Start, d.End, truth)
+			} else {
+				fmt.Printf("horizon %3d  %-40s skip\n", h, d.Event)
+			}
+		}
+		if err := push(frame + horizon); err != nil {
+			fatal(err)
+		}
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nserver stats: %d predictions, %d relays, %d frames to cloud, $%.2f (BF: $%.2f)\n",
+		stats.Predictions, stats.Relays, stats.FramesToCloud, stats.EstimatedUSD, stats.BruteForceUSD)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eventhitcam:", err)
+	os.Exit(1)
+}

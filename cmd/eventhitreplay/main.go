@@ -1,0 +1,71 @@
+// Command eventhitreplay audits a decision trace written by eventhitserve
+// against the ground-truth stream it marshalled (a JSON stream from
+// eventhitgen): realized frame-level recall, waste and missed horizons —
+// the numbers an operator checks before loosening or tightening the
+// conformal knobs.
+//
+//	eventhitgen -dataset THUMOS -seed 99 -out stream.json
+//	eventhitserve -task TA10 -trace decisions.jsonl &
+//	eventhitcam -task TA10 -seed 99 -horizons 50
+//	eventhitreplay -trace decisions.jsonl -stream stream.json -task TA10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eventhit/internal/harness"
+	"eventhit/internal/trace"
+	"eventhit/internal/video"
+)
+
+func main() {
+	var (
+		tracePath  = flag.String("trace", "", "JSON-lines decision trace (required)")
+		streamPath = flag.String("stream", "", "ground-truth stream JSON from eventhitgen (required)")
+		task       = flag.String("task", "TA10", "Table II task the trace belongs to")
+	)
+	flag.Parse()
+	if *tracePath == "" || *streamPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	t, err := harness.TaskByName(*task)
+	if err != nil {
+		fatal(err)
+	}
+	tf, err := os.Open(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	defer tf.Close()
+	entries, err := trace.ReadAll(tf)
+	if err != nil {
+		fatal(err)
+	}
+	sf, err := os.Open(*streamPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer sf.Close()
+	st, err := video.ReadJSON(sf)
+	if err != nil {
+		fatal(err)
+	}
+	audit, err := trace.Score(entries, st, t.EventIdx)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace audit for %s (%d decisions)\n", t.Name, audit.Decisions)
+	fmt.Printf("  positive horizons:   %d (missed entirely: %d)\n", audit.Positives, audit.MissedHorizons)
+	fmt.Printf("  frame-level recall:  %.3f (%d of %d true frames covered)\n",
+		audit.Recall(), audit.CoveredFrames, audit.TrueFrames)
+	fmt.Printf("  frames relayed:      %d (wasted: %d, %.1f%%)\n",
+		audit.RelayedFrames, audit.WastedFrames, 100*audit.Waste())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eventhitreplay:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Command eventhitserve runs the marshalling decision service of Figure 1
+// over HTTP: load a bundle saved by eventhittrain (or train one on the
+// fly), then let camera-side processes push covariates and ask for relay
+// decisions.
+//
+//	eventhittrain -task TA10 -out ta10.bundle
+//	eventhitserve -bundle ta10.bundle -task TA10 -addr :8080
+//
+// Without -bundle the server trains a fresh model for -task at startup
+// (useful for demos).
+//
+//	curl -s -X POST localhost:8080/v1/frames -d '{"frames": [[...]]}'
+//	curl -s -X POST 'localhost:8080/v1/predict?confidence=0.95'
+//	curl -s localhost:8080/v1/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"eventhit/internal/cloud"
+	"eventhit/internal/harness"
+	"eventhit/internal/serve"
+	"eventhit/internal/strategy"
+	"eventhit/internal/trace"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		bundlePath = flag.String("bundle", "", "bundle file saved by eventhittrain (empty: train at startup)")
+		task       = flag.String("task", "TA10", "Table II task (event names; training when no -bundle)")
+		confidence = flag.Float64("confidence", 0.9, "default C-CLASSIFY confidence")
+		coverage   = flag.Float64("coverage", 0.9, "default C-REGRESS coverage")
+		seed       = flag.Int64("seed", 1, "random seed for on-the-fly training")
+		tracePath  = flag.String("trace", "", "append a JSON-lines decision audit trail to this file")
+	)
+	flag.Parse()
+
+	t, err := harness.TaskByName(*task)
+	if err != nil {
+		fatal(err)
+	}
+	var bundle *strategy.Bundle
+	if *bundlePath != "" {
+		f, err := os.Open(*bundlePath)
+		if err != nil {
+			fatal(err)
+		}
+		bundle, err = strategy.LoadBundle(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("loaded bundle %s (%d parameters)", *bundlePath, bundle.Model.NumParams())
+	} else {
+		log.Printf("no -bundle given: training %s at startup...", t.String())
+		env, err := harness.NewEnv(t, harness.Quick(), *seed)
+		if err != nil {
+			fatal(err)
+		}
+		bundle = env.Bundle
+	}
+	if bundle.Model.Config().NumEvents != t.NumEvents() {
+		fatal(fmt.Errorf("bundle has %d events, task %s has %d",
+			bundle.Model.Config().NumEvents, t.Name, t.NumEvents()))
+	}
+	names := make([]string, t.NumEvents())
+	for i, idx := range t.EventIdx {
+		names[i] = t.Dataset.Events[idx].Name
+	}
+	scfg := serve.Config{
+		Bundle:            bundle,
+		EventNames:        names,
+		PerFrameUSD:       cloud.RekognitionPricing().PerFrameUSD,
+		DefaultConfidence: *confidence,
+		DefaultCoverage:   *coverage,
+	}
+	if *tracePath != "" {
+		tf, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer tf.Close()
+		scfg.Trace = trace.NewWriter(tf)
+		log.Printf("tracing decisions to %s", *tracePath)
+	}
+	srv, err := serve.New(scfg)
+	if err != nil {
+		fatal(err)
+	}
+	mc := bundle.Model.Config()
+	log.Printf("serving %s on %s (M=%d H=%d D=%d, defaults c=%.2f alpha=%.2f)",
+		t.Name, *addr, mc.Window, mc.Horizon, mc.InputDim, *confidence, *coverage)
+	fatal(http.ListenAndServe(*addr, srv))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eventhitserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+// Package eventhit is a from-scratch Go reproduction of "Marshalling Model
+// Inference in Video Streams" (ICDE 2023): the EventHit prediction model,
+// its C-CLASSIFY and C-REGRESS conformal optimizations, every baseline the
+// paper compares against, simulated substrates for the video/feature/cloud
+// stack, and a harness that regenerates each table and figure of the
+// evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// substitution notes, and EXPERIMENTS.md for paper-vs-measured results.
+// The implementation lives under internal/; the cmd/ binaries and
+// examples/ programs are the entry points.
+package eventhit

@@ -1,0 +1,92 @@
+// Anymodel: §VII's portability claim in action — "the conformal event
+// existence prediction and conformal occurrence interval prediction
+// algorithms ... are applicable to any models capable of predicting the
+// existence (and probability) of events as well as their occurrence
+// intervals."
+//
+// This example never touches EventHit. It wraps C-CLASSIFY around a crude
+// hand-written heuristic scorer (the mean cue level of the collection
+// window) and shows that the coverage guarantee of Theorem 4.2 still
+// holds: the realized recall at every confidence level sits at or above
+// the level, even though the underlying "model" is ten lines of code.
+//
+//	go run ./examples/anymodel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eventhit/internal/conformal"
+	"eventhit/internal/dataset"
+	"eventhit/internal/features"
+	"eventhit/internal/mathx"
+	"eventhit/internal/video"
+)
+
+// heuristicScore is the entire "model": the mean of the first cue channel
+// over the collection window. No training, no parameters.
+func heuristicScore(x [][]float64) float64 {
+	var s float64
+	for _, row := range x {
+		s += row[0]
+	}
+	return s / float64(len(x))
+}
+
+func main() {
+	st := video.Generate(video.THUMOS(), mathx.NewRNG(1))
+	ex, err := features.NewExtractor(st, []int{0}, features.DefaultDetector(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := dataset.Config{Window: 10, Horizon: 200}
+	g := mathx.NewRNG(2)
+	sample := func(lo, hi, n int) []dataset.Record {
+		out := make([]dataset.Record, 0, n)
+		for len(out) < n {
+			r, err := dataset.BuildRecord(ex, lo+g.Intn(hi-lo), cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out = append(out, r)
+		}
+		return out
+	}
+	calib := sample(cfg.Window, st.N/2, 800)
+	test := sample(st.N/2, st.N-cfg.Horizon-1, 1500)
+
+	// Calibrate C-CLASSIFY on the heuristic's scores.
+	calibB := make([][]float64, len(calib))
+	calibL := make([][]bool, len(calib))
+	for i, r := range calib {
+		calibB[i] = []float64{heuristicScore(r.X)}
+		calibL[i] = r.Label
+	}
+	cls, err := conformal.NewClassifier(calibB, calibL)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("C-CLASSIFY wrapped around a 10-line heuristic (no neural network):")
+	fmt.Println("confidence  realized recall  positives kept")
+	for _, c := range []float64{0.5, 0.7, 0.8, 0.9, 0.95} {
+		kept, pos := 0, 0
+		for _, r := range test {
+			if !r.Label[0] {
+				continue
+			}
+			pos++
+			if cls.Predict([]float64{heuristicScore(r.X)}, c)[0] {
+				kept++
+			}
+		}
+		recall := float64(kept) / float64(pos)
+		mark := "OK"
+		if recall < c-0.05 {
+			mark = "below guarantee!"
+		}
+		fmt.Printf("   %.2f         %.3f          %4d/%-4d  %s\n", c, recall, kept, pos, mark)
+	}
+	fmt.Println("\nTheorem 4.2 never asked the scorer to be good — only exchangeable.")
+}

@@ -1,0 +1,65 @@
+// Costbudget: using the conformal knobs to hit an accuracy target at
+// minimum cloud cost. Given a required recall (say, "never miss more than
+// 5% of events"), sweep (c, alpha) jointly, find the cheapest setting that
+// meets the target, and show the resulting bill — the workflow §VI.G's
+// case study implies an operator would follow.
+//
+//	go run ./examples/costbudget -target 0.95
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"eventhit/internal/cloud"
+	"eventhit/internal/harness"
+)
+
+func main() {
+	target := flag.Float64("target", 0.9, "required REC")
+	flag.Parse()
+
+	task, err := harness.TaskByName("TA1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("goal: REC >= %.2f on %s at minimum CI spend\n", *target, task.String())
+	env, err := harness.NewEnv(task, harness.Quick(), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	price := cloud.RekognitionPricing().PerFrameUSD
+	pts, err := env.CurveEHCR(harness.ConfidenceLevels())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tbl := harness.NewTable("EHCR operating points (test region)",
+		"c=alpha", "REC", "SPL", "CI frames", "spend($)", "meets target")
+	bestIdx := -1
+	for i, p := range pts {
+		meets := ""
+		if p.REC >= *target {
+			meets = "yes"
+			if bestIdx < 0 || pts[i].Frames < pts[bestIdx].Frames {
+				bestIdx = i
+			}
+		}
+		tbl.Addf(p.Knob, p.REC, p.SPL, p.Frames,
+			fmt.Sprintf("%.2f", float64(p.Frames)*price), meets)
+	}
+	tbl.Render(os.Stdout)
+
+	bfFrames := len(env.Splits.Test) * env.Cfg.Horizon * task.NumEvents()
+	if bestIdx < 0 {
+		fmt.Printf("no setting reaches REC %.2f — raise the grid toward c=alpha->1\n", *target)
+		return
+	}
+	best := pts[bestIdx]
+	fmt.Printf("cheapest qualifying setting: c=alpha=%.3f  REC=%.3f  spend $%.2f (brute force: $%.2f, %.0fx more)\n",
+		best.Knob, best.REC, float64(best.Frames)*price,
+		float64(bfFrames)*price, float64(bfFrames)/float64(best.Frames))
+}

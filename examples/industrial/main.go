@@ -1,0 +1,109 @@
+// Industrial: the paper's §I conveyor-belt motivation — defective
+// products arriving geometrically, often several per time horizon. This
+// example uses the multi-instance extension (§II footnote 1): instead of
+// relaying one min..max span per horizon (Equation 6), every decoded
+// θ-run above τ2 becomes its own relay range, so the dead time between
+// two defects is never paid for.
+//
+//	go run ./examples/industrial
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eventhit/internal/core"
+	"eventhit/internal/dataset"
+	"eventhit/internal/features"
+	"eventhit/internal/harness"
+	"eventhit/internal/mathx"
+	"eventhit/internal/metrics"
+	"eventhit/internal/strategy"
+	"eventhit/internal/video"
+)
+
+func main() {
+	spec := harness.IndustrialSpec()
+	fmt.Printf("workload: %s — %d expected defects over %d frames, H=%d\n",
+		spec.Events[0].Name, spec.Events[0].Occurrences, spec.StreamLen, spec.Horizon)
+
+	g := mathx.NewRNG(3)
+	st := video.GenerateWith(spec, video.GeometricArrivals, 0, 1, g.Split(1))
+	ex, err := features.NewExtractor(st, []int{0}, features.DefaultDetector(), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := dataset.Config{Window: spec.Window, Horizon: spec.Horizon}
+
+	// Multi-instance training records: per-frame targets cover every
+	// defect in the horizon, not just the first.
+	sample := func(lo, hi, n int) []dataset.Record {
+		out := make([]dataset.Record, 0, n)
+		for len(out) < n {
+			t := lo + g.Intn(hi-lo)
+			r, err := dataset.BuildRecordMulti(ex, t, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out = append(out, r)
+		}
+		return out
+	}
+	train := sample(cfg.Window, st.N/2, 400)
+	calib := sample(st.N/2, 3*st.N/4-cfg.Horizon, 250)
+	test := sample(3*st.N/4, st.N-cfg.Horizon-1, 200)
+
+	m, err := core.New(core.DefaultConfig(ex.Dim(), cfg.Window, cfg.Horizon, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.Train(train, core.DefaultTrainConfig()); err != nil {
+		log.Fatal(err)
+	}
+	bundle, err := strategy.Calibrate(m, calib, calib)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var spanFrames, runFrames int
+	var spanCov, runCov float64
+	positives := 0
+	for _, rec := range test {
+		truths := rec.AllOI[0]
+		if len(truths) == 0 {
+			continue
+		}
+		positives++
+		runs := bundle.PredictRuns(rec, 0.95, 3)[0]
+		if runs == nil {
+			continue
+		}
+		out := m.Predict(rec.X)
+		span, _ := core.DecodeInterval(out.Theta[0], bundle.Tau2)
+		spanFrames += span.Len()
+		runFrames += metrics.UnionFrames(runs)
+		spanCov += metrics.EtaRuns([]video.Interval{span}, truths)
+		runCov += metrics.EtaRuns(runs, truths)
+	}
+	fmt.Printf("\npositive horizons: %d (%.2f defects each on average)\n",
+		positives, meanInstances(test))
+	fmt.Printf("single span (Eq. 6):   coverage %.3f, %6d frames relayed\n",
+		spanCov/float64(positives), spanFrames)
+	fmt.Printf("per-run (footnote 1):  coverage %.3f, %6d frames relayed (%.0f%% of the span)\n",
+		runCov/float64(positives), runFrames, 100*float64(runFrames)/float64(spanFrames))
+	fmt.Println("\nthe per-run decoding skips the conveyor's dead time between defects.")
+}
+
+func meanInstances(recs []dataset.Record) float64 {
+	total, pos := 0, 0
+	for _, r := range recs {
+		if len(r.AllOI[0]) > 0 {
+			pos++
+			total += len(r.AllOI[0])
+		}
+	}
+	if pos == 0 {
+		return 0
+	}
+	return float64(total) / float64(pos)
+}

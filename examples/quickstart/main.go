@@ -1,0 +1,80 @@
+// Quickstart: the smallest end-to-end EventHit program.
+//
+// It generates a simulated THUMOS-style stream, trains EventHit for one
+// event type, calibrates the two conformal layers, and prints the
+// prediction for a single covariate window next to the ground truth.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eventhit/internal/core"
+	"eventhit/internal/dataset"
+	"eventhit/internal/features"
+	"eventhit/internal/mathx"
+	"eventhit/internal/strategy"
+	"eventhit/internal/video"
+)
+
+func main() {
+	// 1. A video stream. In production this is your camera feed; here the
+	// simulator generates one with the THUMOS statistics of Table I.
+	stream := video.Generate(video.THUMOS(), mathx.NewRNG(1))
+
+	// 2. Feature extraction for the events you care about (event index 0 =
+	// "Volleyball Spiking").
+	ex, err := features.NewExtractor(stream, []int{0}, features.DefaultDetector(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Training + calibration records (window M=10, horizon H=200).
+	splits, err := dataset.Build(ex, dataset.SampleConfig{
+		Config: dataset.Config{Window: 10, Horizon: 200},
+		NTrain: 400, NCCalib: 250, NRCalib: 200, NTest: 100,
+		TrainPosFrac: 0.5,
+	}, mathx.NewRNG(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Train EventHit end-to-end.
+	model, err := core.New(core.DefaultConfig(ex.Dim(), 10, 200, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := model.Train(splits.Train, core.DefaultTrainConfig()); err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Calibrate C-CLASSIFY and C-REGRESS.
+	bundle, err := strategy.Calibrate(model, splits.CCalib, splits.RCalib)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 6. Predict: which horizons contain the event, and where inside them?
+	marshal := bundle.EHCR(0.9, 0.9) // confidence c=0.9, coverage alpha=0.9
+	shown := 0
+	for _, rec := range splits.Test {
+		pred := marshal.Predict(rec)
+		if !rec.Label[0] && !pred.Occur[0] {
+			continue // a correctly skipped horizon; nothing to show
+		}
+		truth := "no event"
+		if rec.Label[0] {
+			truth = fmt.Sprintf("event at offsets %v", rec.OI[0])
+		}
+		decision := "skip (no CI call)"
+		if pred.Occur[0] {
+			decision = fmt.Sprintf("relay offsets %v to the CI", pred.OI[0])
+		}
+		fmt.Printf("frame %7d: truth: %-28s -> %s\n", rec.Frame, truth, decision)
+		if shown++; shown == 10 {
+			break
+		}
+	}
+}

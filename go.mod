@@ -1,0 +1,3 @@
+module eventhit
+
+go 1.22

@@ -1,0 +1,165 @@
+// Package cloud simulates the cloud inference service (CI) of the paper: a
+// per-frame-priced, highly accurate event detector in the style of Amazon
+// Rekognition (§I, §VI.G). The CI's behaviours that matter to EventHit are
+// (a) correctness of detection on the frames it is given, (b) monetary
+// cost accrued per processed frame, and (c) processing latency per frame —
+// all three are modelled; pixels are not.
+package cloud
+
+import (
+	"fmt"
+	"sync"
+
+	"eventhit/internal/video"
+)
+
+// Pricing is the CI's billing model.
+type Pricing struct {
+	// PerFrameUSD is the price of analysing one frame. The paper's case
+	// study uses Amazon Rekognition's US $0.001 per frame (§VI.G).
+	PerFrameUSD float64
+}
+
+// RekognitionPricing returns the pricing used in §VI.G.
+func RekognitionPricing() Pricing { return Pricing{PerFrameUSD: 0.001} }
+
+// Latency is the CI's processing cost model.
+type Latency struct {
+	// PerFrameMS is the inference time per frame in milliseconds. The
+	// paper's event-detection models (e.g. I3D) run near 25 fps, i.e.
+	// 40 ms/frame (§VI.H).
+	PerFrameMS float64
+}
+
+// DefaultLatency returns the I3D-like latency of §VI.H.
+func DefaultLatency() Latency { return Latency{PerFrameMS: 40} }
+
+// Detection is the CI's verdict for one frame range of one event type.
+type Detection struct {
+	Event int // task event index
+	// Found lists the portions of requested frames covered by true event
+	// occurrences.
+	Found []video.Interval
+}
+
+// Service is a simulated CI bound to a ground-truth stream. It is safe for
+// concurrent use.
+type Service struct {
+	mu      sync.Mutex
+	stream  *video.Stream
+	pricing Pricing
+	latency Latency
+	// fault, when non-nil, is consulted per request; returning an error
+	// fails the request before any processing or billing (transient cloud
+	// outages, throttling).
+	fault    func(requestIndex int64) error
+	failures int64
+
+	frames    int64   // frames processed
+	spentUSD  float64 // money spent
+	busyMS    float64 // simulated processing time
+	requests  int64
+	hitFrames int64 // processed frames that actually belonged to an event
+}
+
+// NewService returns a CI over stream with the given cost models.
+func NewService(stream *video.Stream, p Pricing, l Latency) *Service {
+	return &Service{stream: stream, pricing: p, latency: l}
+}
+
+// ErrUnavailable is wrapped by transient request failures injected via
+// SetFault.
+var ErrUnavailable = fmt.Errorf("cloud: service unavailable")
+
+// SetFault installs a fault injector consulted once per Detect call with a
+// monotonically increasing request index; a non-nil return fails the
+// request with no billing. Pass nil to clear. Typical injectors:
+//
+//	ci.SetFault(func(i int64) error {          // every 5th request fails
+//		if i%5 == 4 { return cloud.ErrUnavailable }
+//		return nil
+//	})
+func (s *Service) SetFault(f func(requestIndex int64) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fault = f
+}
+
+// Detect processes the frames in win (absolute indices) looking for the
+// given stream event type, charging for every frame. It returns the exact
+// occurrences overlapping the range — the CI is assumed accurate (§II:
+// "a CI of choice provides access to a model of high accuracy").
+func (s *Service) Detect(eventType int, win video.Interval) (Detection, error) {
+	if eventType < 0 || eventType >= s.stream.NumTypes() {
+		return Detection{}, fmt.Errorf("cloud: unknown event type %d", eventType)
+	}
+	s.mu.Lock()
+	idx := s.requests + s.failures
+	f := s.fault
+	s.mu.Unlock()
+	if f != nil {
+		if err := f(idx); err != nil {
+			s.mu.Lock()
+			s.failures++
+			s.mu.Unlock()
+			return Detection{}, fmt.Errorf("cloud: request %d: %w", idx, err)
+		}
+	}
+	n := win.Len()
+	if n == 0 {
+		return Detection{Event: eventType}, nil
+	}
+	det := Detection{Event: eventType}
+	hit := 0
+	for _, in := range s.stream.InstancesOverlapping(eventType, win) {
+		if ov, ok := in.OI.Intersect(win); ok {
+			det.Found = append(det.Found, ov)
+			hit += ov.Len()
+		}
+	}
+	s.mu.Lock()
+	s.requests++
+	s.frames += int64(n)
+	s.hitFrames += int64(hit)
+	s.spentUSD += float64(n) * s.pricing.PerFrameUSD
+	s.busyMS += float64(n) * s.latency.PerFrameMS
+	s.mu.Unlock()
+	return det, nil
+}
+
+// Usage is a snapshot of the CI meter.
+type Usage struct {
+	Requests  int64
+	Failures  int64
+	Frames    int64
+	HitFrames int64
+	SpentUSD  float64
+	BusyMS    float64
+}
+
+// Usage returns the accumulated meter readings.
+func (s *Service) Usage() Usage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Usage{
+		Requests:  s.requests,
+		Failures:  s.failures,
+		Frames:    s.frames,
+		HitFrames: s.hitFrames,
+		SpentUSD:  s.spentUSD,
+		BusyMS:    s.busyMS,
+	}
+}
+
+// Reset clears the meter.
+func (s *Service) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests, s.failures, s.frames, s.hitFrames, s.spentUSD, s.busyMS = 0, 0, 0, 0, 0, 0
+}
+
+// CostOf returns the price of processing n frames without processing them.
+func (s *Service) CostOf(n int) float64 { return float64(n) * s.pricing.PerFrameUSD }
+
+// PerFrameMS exposes the latency model (used by the pipeline's FPS model).
+func (s *Service) PerFrameMS() float64 { return s.latency.PerFrameMS }

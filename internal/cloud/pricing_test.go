@@ -1,0 +1,157 @@
+package cloud
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestTieredPricingValidate(t *testing.T) {
+	if err := RekognitionTiers().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []TieredPricing{
+		{},
+		{Tiers: []Tier{{UpTo: 10, PerFrameUSD: 1}}},                               // bounded final tier
+		{Tiers: []Tier{{UpTo: 10, PerFrameUSD: 1}, {UpTo: 5, PerFrameUSD: 1}}},    // non-increasing (and bounded last)
+		{Tiers: []Tier{{UpTo: 10, PerFrameUSD: -1}, {UpTo: 0, PerFrameUSD: 1}}},   // negative price
+		{Tiers: []Tier{{UpTo: 10, PerFrameUSD: 1}, {UpTo: 10, PerFrameUSD: 0.5}}}, // equal caps
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad pricing %d validated", i)
+		}
+	}
+}
+
+func TestTieredCostSingleTier(t *testing.T) {
+	p := TieredPricing{Tiers: []Tier{{UpTo: 0, PerFrameUSD: 0.002}}}
+	if c := p.Cost(0, 1000); math.Abs(c-2.0) > 1e-12 {
+		t.Fatalf("Cost = %v", c)
+	}
+	if c := p.Cost(123456, 1000); math.Abs(c-2.0) > 1e-12 {
+		t.Fatal("flat pricing must not depend on prior usage")
+	}
+}
+
+func TestTieredCostCrossesBoundary(t *testing.T) {
+	p := RekognitionTiers()
+	// 500k at tier 1 + 500k at tier 1 = full first million.
+	first := p.Cost(0, 1_000_000)
+	if math.Abs(first-1000) > 1e-9 {
+		t.Fatalf("first million = %v, want 1000", first)
+	}
+	// Next million entirely at $0.0008.
+	second := p.Cost(1_000_000, 1_000_000)
+	if math.Abs(second-800) > 1e-9 {
+		t.Fatalf("second million = %v, want 800", second)
+	}
+	// Straddling: 500k in tier 1 + 500k in tier 2.
+	straddle := p.Cost(500_000, 1_000_000)
+	if math.Abs(straddle-(500+400)) > 1e-9 {
+		t.Fatalf("straddle = %v, want 900", straddle)
+	}
+	// Deep usage lands in the cheapest tier.
+	deep := p.Cost(20_000_000, 1_000_000)
+	if math.Abs(deep-600) > 1e-9 {
+		t.Fatalf("deep = %v, want 600", deep)
+	}
+}
+
+func TestTieredCostAdditive(t *testing.T) {
+	// Cost(u, a+b) == Cost(u, a) + Cost(u+a, b): billing is path-independent.
+	p := RekognitionTiers()
+	f := func(uRaw, aRaw, bRaw uint32) bool {
+		u := int64(uRaw % 3_000_000)
+		a := int64(aRaw % 2_000_000)
+		b := int64(bRaw % 2_000_000)
+		whole := p.Cost(u, a+b)
+		split := p.Cost(u, a) + p.Cost(u+a, b)
+		return math.Abs(whole-split) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTieredCostMonotoneInUsage(t *testing.T) {
+	// With decreasing tier prices, the same batch gets cheaper (or equal)
+	// the more you have already used.
+	p := RekognitionTiers()
+	prev := math.Inf(1)
+	for used := int64(0); used <= 12_000_000; used += 500_000 {
+		c := p.Cost(used, 750_000)
+		if c > prev+1e-9 {
+			t.Fatalf("cost increased with usage at %d: %v > %v", used, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestBudgetChargeAndExhaustion(t *testing.T) {
+	b, err := NewBudget(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Charge(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Charge(4); err != nil {
+		t.Fatal(err)
+	}
+	if b.Spent() != 8 || b.Remaining() != 2 {
+		t.Fatalf("spent=%v remaining=%v", b.Spent(), b.Remaining())
+	}
+	err = b.Charge(3)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("expected ErrBudgetExhausted, got %v", err)
+	}
+	// A refused charge must not be recorded.
+	if b.Spent() != 8 {
+		t.Fatalf("refused charge was recorded: %v", b.Spent())
+	}
+	// A smaller charge still fits.
+	if err := b.Charge(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBudgetValidation(t *testing.T) {
+	if _, err := NewBudget(0); err == nil {
+		t.Fatal("expected error for zero cap")
+	}
+	b, _ := NewBudget(1)
+	if err := b.Charge(-1); err == nil {
+		t.Fatal("expected error for negative charge")
+	}
+}
+
+func TestBudgetConcurrent(t *testing.T) {
+	b, _ := NewBudget(1000)
+	var wg sync.WaitGroup
+	granted := make([]int, 20)
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if b.Charge(1) == nil {
+					granted[i]++
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for _, g := range granted {
+		total += g
+	}
+	if total != 1000 {
+		t.Fatalf("granted %d charges, want exactly 1000", total)
+	}
+	if b.Remaining() != 0 {
+		t.Fatalf("remaining = %v", b.Remaining())
+	}
+}

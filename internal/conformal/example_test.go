@@ -1,0 +1,43 @@
+package conformal_test
+
+import (
+	"fmt"
+
+	"eventhit/internal/conformal"
+	"eventhit/internal/video"
+)
+
+// ExampleClassifier shows Algorithm 1 end to end: calibrate on scored,
+// labeled records, then gate new predictions at a confidence level.
+func ExampleClassifier() {
+	// Calibration: the model's existence scores and the true labels.
+	scores := [][]float64{{0.9}, {0.7}, {0.4}, {0.2}, {0.85}, {0.1}}
+	labels := [][]bool{{true}, {true}, {true}, {false}, {true}, {false}}
+	cls, err := conformal.NewClassifier(scores, labels)
+	if err != nil {
+		panic(err)
+	}
+	// A new horizon scoring 0.75: kept at c=0.9, dropped at c=0.3.
+	fmt.Println(cls.Predict([]float64{0.75}, 0.9)[0])
+	fmt.Println(cls.Predict([]float64{0.75}, 0.3)[0])
+	fmt.Printf("p-value: %.2f\n", cls.PValue(0, 0.75))
+	// Output:
+	// true
+	// false
+	// p-value: 0.40
+}
+
+// ExampleRegressor shows Algorithm 2: calibrate on boundary residuals,
+// then widen a predicted interval to the chosen coverage.
+func ExampleRegressor() {
+	startResiduals := [][]float64{{2, 5, 8, 3, 12}}
+	endResiduals := [][]float64{{1, 4, 9, 2, 6}}
+	reg, err := conformal.NewRegressor(200, startResiduals, endResiduals)
+	if err != nil {
+		panic(err)
+	}
+	raw := video.Interval{Start: 50, End: 90}
+	fmt.Println(reg.Adjust(0, raw, 0.8)) // 4th-smallest residuals: 8 and 6
+	// Output:
+	// [42,96]
+}

@@ -1,0 +1,90 @@
+package conformal
+
+import (
+	"fmt"
+	"sort"
+
+	"eventhit/internal/mathx"
+	"eventhit/internal/video"
+)
+
+// ScaledRegressor is normalized split conformal regression (Lei et al.
+// 2018, §5.2 — the "locally weighted" variant of the method Algorithm 2
+// builds on): calibration residuals are divided by a per-record difficulty
+// estimate σ(x), the quantile is taken over the normalized residuals, and
+// at prediction time the band is the quantile times the new record's own
+// difficulty. Easy records get tight bands, hard records wide ones, while
+// the marginal coverage guarantee is unchanged. EventHit uses the length
+// of the decoded occurrence interval as the difficulty estimate: long
+// predicted events have proportionally fuzzier boundaries.
+type ScaledRegressor struct {
+	horizon   int
+	normStart [][]float64 // sorted normalized residuals per event
+	normEnd   [][]float64
+}
+
+// minScale floors difficulty estimates so normalization never divides by
+// (near) zero.
+const minScale = 1.0
+
+// NewScaledRegressor calibrates from per-event residuals and the matching
+// per-record difficulty scales (same shapes; scales[k][i] belongs to
+// startRes[k][i] and endRes[k][i]).
+func NewScaledRegressor(horizon int, startRes, endRes, scales [][]float64) (*ScaledRegressor, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("conformal: horizon %d must be positive", horizon)
+	}
+	if len(startRes) == 0 || len(startRes) != len(endRes) || len(startRes) != len(scales) {
+		return nil, fmt.Errorf("conformal: residual/scale sets empty or mismatched (%d/%d/%d)",
+			len(startRes), len(endRes), len(scales))
+	}
+	r := &ScaledRegressor{
+		horizon:   horizon,
+		normStart: make([][]float64, len(startRes)),
+		normEnd:   make([][]float64, len(endRes)),
+	}
+	for k := range startRes {
+		n := len(startRes[k])
+		if n == 0 || len(endRes[k]) != n || len(scales[k]) != n {
+			return nil, fmt.Errorf("conformal: event %d has inconsistent calibration sizes", k)
+		}
+		ns := make([]float64, n)
+		ne := make([]float64, n)
+		for i := 0; i < n; i++ {
+			s := scales[k][i]
+			if s < minScale {
+				s = minScale
+			}
+			ns[i] = startRes[k][i] / s
+			ne[i] = endRes[k][i] / s
+		}
+		sort.Float64s(ns)
+		sort.Float64s(ne)
+		r.normStart[k] = ns
+		r.normEnd[k] = ne
+	}
+	return r, nil
+}
+
+// NumEvents returns the number of calibrated events.
+func (r *ScaledRegressor) NumEvents() int { return len(r.normStart) }
+
+// Quantiles returns the ceil(α·n)-th smallest normalized residuals scaled
+// back by the new record's difficulty.
+func (r *ScaledRegressor) Quantiles(k int, alpha, scale float64) (qs, qe float64) {
+	if scale < minScale {
+		scale = minScale
+	}
+	return sortedCeilQuantile(r.normStart[k], alpha) * scale,
+		sortedCeilQuantile(r.normEnd[k], alpha) * scale
+}
+
+// Adjust widens iv like Regressor.Adjust but with the record-adaptive
+// band; scale is the new record's difficulty estimate.
+func (r *ScaledRegressor) Adjust(k int, iv video.Interval, alpha, scale float64) video.Interval {
+	qs, qe := r.Quantiles(k, alpha, scale)
+	return video.Interval{
+		Start: mathx.ClampInt(iv.Start-int(qs), 1, r.horizon),
+		End:   mathx.ClampInt(iv.End+int(qe), 1, r.horizon),
+	}
+}

@@ -1,0 +1,105 @@
+package conformal
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// classifierState is the gob form of a Classifier.
+type classifierState struct {
+	PosScores [][]float64
+}
+
+// Save writes the calibration state to w.
+func (c *Classifier) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(classifierState{PosScores: c.posScores})
+}
+
+// LoadClassifier reads a Classifier written by Save.
+func LoadClassifier(r io.Reader) (*Classifier, error) {
+	if _, ok := r.(io.ByteReader); !ok {
+		r = bufio.NewReader(r)
+	}
+	var s classifierState
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("conformal: decode classifier: %w", err)
+	}
+	if len(s.PosScores) == 0 {
+		return nil, fmt.Errorf("conformal: classifier snapshot has no events")
+	}
+	for k, ps := range s.PosScores {
+		if len(ps) == 0 {
+			return nil, fmt.Errorf("conformal: classifier snapshot event %d has no positives", k)
+		}
+		for i := 1; i < len(ps); i++ {
+			if ps[i] < ps[i-1] {
+				return nil, fmt.Errorf("conformal: classifier snapshot event %d not sorted", k)
+			}
+		}
+	}
+	return &Classifier{posScores: s.PosScores}, nil
+}
+
+// regressorState is the gob form of a Regressor.
+type regressorState struct {
+	Horizon  int
+	StartRes [][]float64
+	EndRes   [][]float64
+}
+
+// Save writes the calibration state to w.
+func (r *Regressor) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(regressorState{
+		Horizon: r.horizon, StartRes: r.startRes, EndRes: r.endRes,
+	})
+}
+
+// LoadRegressor reads a Regressor written by Save.
+func LoadRegressor(rd io.Reader) (*Regressor, error) {
+	if _, ok := rd.(io.ByteReader); !ok {
+		rd = bufio.NewReader(rd)
+	}
+	var s regressorState
+	if err := gob.NewDecoder(rd).Decode(&s); err != nil {
+		return nil, fmt.Errorf("conformal: decode regressor: %w", err)
+	}
+	// Re-validate through the public constructor (it re-sorts, which is a
+	// no-op for well-formed snapshots).
+	return NewRegressor(s.Horizon, s.StartRes, s.EndRes)
+}
+
+// scaledState is the gob form of a ScaledRegressor.
+type scaledState struct {
+	Horizon   int
+	NormStart [][]float64
+	NormEnd   [][]float64
+}
+
+// Save writes the calibration state to w.
+func (r *ScaledRegressor) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(scaledState{
+		Horizon: r.horizon, NormStart: r.normStart, NormEnd: r.normEnd,
+	})
+}
+
+// LoadScaledRegressor reads a ScaledRegressor written by Save.
+func LoadScaledRegressor(rd io.Reader) (*ScaledRegressor, error) {
+	if _, ok := rd.(io.ByteReader); !ok {
+		rd = bufio.NewReader(rd)
+	}
+	var s scaledState
+	if err := gob.NewDecoder(rd).Decode(&s); err != nil {
+		return nil, fmt.Errorf("conformal: decode scaled regressor: %w", err)
+	}
+	if s.Horizon <= 0 || len(s.NormStart) == 0 || len(s.NormStart) != len(s.NormEnd) {
+		return nil, fmt.Errorf("conformal: invalid scaled regressor snapshot")
+	}
+	for k := range s.NormStart {
+		if len(s.NormStart[k]) == 0 || len(s.NormEnd[k]) == 0 {
+			return nil, fmt.Errorf("conformal: scaled snapshot event %d empty", k)
+		}
+	}
+	return &ScaledRegressor{horizon: s.Horizon, normStart: s.NormStart, normEnd: s.NormEnd}, nil
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"eventhit/internal/nn"
+)
+
+// Save writes the model configuration and weights to w.
+func (m *Model) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(m.cfg); err != nil {
+		return fmt.Errorf("core: encode config: %w", err)
+	}
+	return nn.SaveParams(w, m.params)
+}
+
+// Load reads a model written by Save. The reader is normalized to an
+// io.ByteReader so multiple gob streams decode without over-reading.
+func Load(r io.Reader) (*Model, error) {
+	if _, ok := r.(io.ByteReader); !ok {
+		r = bufio.NewReader(r)
+	}
+	var cfg Config
+	if err := gob.NewDecoder(r).Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("core: decode config: %w", err)
+	}
+	m, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := nn.LoadParams(r, m.params); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

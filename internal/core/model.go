@@ -1,0 +1,332 @@
+// Package core implements EventHit, the paper's primary contribution
+// (§III): a lightweight deep model that, given the covariates of a
+// collection window, simultaneously predicts for every event of interest
+// (a) whether the event occurs within the next time horizon and (b) a
+// per-frame occurrence score over the horizon from which an occurrence
+// interval is decoded.
+//
+// The architecture follows Figure 3: a shared sub-network (LSTM encoder
+// over the M covariate vectors, then fully connected + dropout producing a
+// latent vector z, concatenated with the final covariate X_n) feeding K
+// event-specific sub-networks, each emitting the vector
+// Θ_k = [b_k, θ_{k,1}, ..., θ_{k,H}] through a sigmoid. Training minimizes
+// L_Total = L1 + L2: the existence cross-entropy and the per-frame
+// occurrence cross-entropy with the inside/outside-interval normalization
+// of §III, weighted per event by β_k and γ_k.
+package core
+
+import (
+	"fmt"
+
+	"eventhit/internal/mathx"
+	"eventhit/internal/nn"
+	"eventhit/internal/video"
+)
+
+// Config describes an EventHit network. The zero value is not usable; see
+// DefaultConfig.
+type Config struct {
+	// InputDim is the covariate dimensionality D.
+	InputDim int
+	// Window is the collection-window length M.
+	Window int
+	// Horizon is the prediction horizon H.
+	Horizon int
+	// NumEvents is the number of event-specific sub-networks K.
+	NumEvents int
+
+	// HiddenLSTM is the LSTM state width of the shared encoder.
+	HiddenLSTM int
+	// HiddenTrunk is the width of the latent vector z.
+	HiddenTrunk int
+	// HiddenHead is the hidden width of each event-specific sub-network.
+	HiddenHead int
+	// Dropout is the drop probability applied to z during training.
+	Dropout float64
+	// Encoder selects the shared temporal encoder: "lstm" (default, the
+	// paper's architecture), "gru" (the lighter recurrent alternative),
+	// "conv" (temporal convolution + pooling, NoScope-style) or "mean"
+	// (mean-pool + projection, the no-temporal-modeling ablation).
+	Encoder string
+
+	// Beta and Gamma are the per-event loss weights β_k and γ_k (§III);
+	// nil means all ones.
+	Beta, Gamma []float64
+
+	// Seed keys weight initialization and dropout.
+	Seed int64
+}
+
+// DefaultConfig returns a compact configuration that trains in seconds on
+// a single core while following the paper's architecture.
+func DefaultConfig(inputDim, window, horizon, numEvents int) Config {
+	return Config{
+		InputDim:    inputDim,
+		Window:      window,
+		Horizon:     horizon,
+		NumEvents:   numEvents,
+		HiddenLSTM:  24,
+		HiddenTrunk: 24,
+		HiddenHead:  32,
+		Dropout:     0.1,
+		Seed:        1,
+	}
+}
+
+// Validate checks structural parameters.
+func (c Config) Validate() error {
+	switch {
+	case c.InputDim <= 0:
+		return fmt.Errorf("core: InputDim %d must be positive", c.InputDim)
+	case c.Window <= 0:
+		return fmt.Errorf("core: Window %d must be positive", c.Window)
+	case c.Horizon <= 0:
+		return fmt.Errorf("core: Horizon %d must be positive", c.Horizon)
+	case c.NumEvents <= 0:
+		return fmt.Errorf("core: NumEvents %d must be positive", c.NumEvents)
+	case c.HiddenLSTM <= 0 || c.HiddenTrunk <= 0 || c.HiddenHead <= 0:
+		return fmt.Errorf("core: hidden sizes must be positive")
+	case c.Dropout < 0 || c.Dropout >= 1:
+		return fmt.Errorf("core: Dropout %v must be in [0,1)", c.Dropout)
+	case c.Beta != nil && len(c.Beta) != c.NumEvents:
+		return fmt.Errorf("core: Beta has %d weights, want %d", len(c.Beta), c.NumEvents)
+	case c.Gamma != nil && len(c.Gamma) != c.NumEvents:
+		return fmt.Errorf("core: Gamma has %d weights, want %d", len(c.Gamma), c.NumEvents)
+	case c.Encoder != "" && c.Encoder != "lstm" && c.Encoder != "gru" && c.Encoder != "conv" && c.Encoder != "mean":
+		return fmt.Errorf("core: unknown encoder %q (want lstm, gru, conv or mean)", c.Encoder)
+	}
+	return nil
+}
+
+// head is one event-specific sub-network: zcat -> hidden -> 1+H logits.
+type head struct {
+	fc1 *nn.Dense
+	act *nn.ReLU
+	fc2 *nn.Dense
+}
+
+// Model is a trained or trainable EventHit network.
+//
+// A Model is NOT safe for concurrent use: layers cache forward activations
+// for backprop, and Predict reuses those caches. Guard concurrent callers
+// with a mutex (internal/serve does) or give each goroutine its own Model
+// (Save/Load make copies cheap).
+type Model struct {
+	cfg      Config
+	lstm     *nn.LSTM   // nil unless the encoder is "lstm"
+	gru      *nn.GRU    // nil unless the encoder is "gru"
+	conv     *nn.Conv1D // nil unless the encoder is "conv"
+	meanProj *nn.Dense  // nil unless the encoder is "mean"
+	trunk    *nn.Dense
+	trunkAct *nn.ReLU
+	drop     *nn.Dropout
+	heads    []*head
+	params   []*nn.Param
+
+	// scratch reused across forward passes
+	zcat []float64
+}
+
+// New constructs an EventHit model from cfg with freshly initialized
+// weights.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := mathx.NewRNG(cfg.Seed)
+	m := &Model{
+		cfg:      cfg,
+		trunk:    nn.NewDense("shared.trunk", cfg.HiddenLSTM, cfg.HiddenTrunk, g.Split(2)),
+		trunkAct: nn.NewReLU(),
+		drop:     nn.NewDropout(cfg.Dropout, g.Split(3)),
+		zcat:     make([]float64, cfg.HiddenTrunk+cfg.InputDim),
+	}
+	var layers []nn.Layer
+	switch cfg.Encoder {
+	case "mean":
+		m.meanProj = nn.NewDense("shared.meanproj", cfg.InputDim, cfg.HiddenLSTM, g.Split(1))
+		layers = append(layers, m.meanProj, m.trunk)
+	case "gru":
+		m.gru = nn.NewGRU("shared.gru", cfg.InputDim, cfg.HiddenLSTM, g.Split(1))
+		layers = append(layers, m.gru, m.trunk)
+	case "conv":
+		m.conv = nn.NewConv1D("shared.conv", cfg.InputDim, cfg.HiddenLSTM, 5, g.Split(1))
+		layers = append(layers, m.conv, m.trunk)
+	default:
+		m.lstm = nn.NewLSTM("shared.lstm", cfg.InputDim, cfg.HiddenLSTM, g.Split(1))
+		layers = append(layers, m.lstm, m.trunk)
+	}
+	for k := 0; k < cfg.NumEvents; k++ {
+		h := &head{
+			fc1: nn.NewDense(fmt.Sprintf("head%d.fc1", k), cfg.HiddenTrunk+cfg.InputDim, cfg.HiddenHead, g.Split(int64(10+2*k))),
+			act: nn.NewReLU(),
+			fc2: nn.NewDense(fmt.Sprintf("head%d.fc2", k), cfg.HiddenHead, 1+cfg.Horizon, g.Split(int64(11+2*k))),
+		}
+		m.heads = append(m.heads, h)
+		layers = append(layers, h.fc1, h.fc2)
+	}
+	m.params = nn.CollectParams(layers...)
+	return m, nil
+}
+
+// Config returns the model configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// NumParams returns the number of scalar weights.
+func (m *Model) NumParams() int { return nn.NumParams(m.params) }
+
+// Output is the decoded network output for one record: per-event existence
+// probabilities b_k and per-frame occurrence probabilities θ_{k,v}
+// (Theta[k][v-1] scores horizon offset v).
+type Output struct {
+	B     []float64
+	Theta [][]float64
+}
+
+// rawForward runs the shared trunk and all heads, returning per-head logit
+// vectors of length 1+H. Layer caches stay valid for a following backward.
+func (m *Model) rawForward(x [][]float64) [][]float64 {
+	if len(x) != m.cfg.Window {
+		panic(fmt.Sprintf("core: covariates have %d rows, model window is %d", len(x), m.cfg.Window))
+	}
+	h := m.encodeForward(x)
+	z := m.trunk.Forward(h)
+	z = m.trunkAct.Forward(z)
+	z = m.drop.Forward(z)
+	copy(m.zcat[:m.cfg.HiddenTrunk], z)
+	copy(m.zcat[m.cfg.HiddenTrunk:], x[len(x)-1])
+	out := make([][]float64, len(m.heads))
+	for k, hd := range m.heads {
+		a := hd.fc1.Forward(m.zcat)
+		a = hd.act.Forward(a)
+		out[k] = hd.fc2.Forward(a)
+	}
+	return out
+}
+
+// backward propagates per-head logit gradients through the whole network,
+// accumulating parameter gradients.
+func (m *Model) backward(dLogits [][]float64) {
+	dzcat := make([]float64, len(m.zcat))
+	for k, hd := range m.heads {
+		da := hd.fc2.Backward(dLogits[k])
+		da = hd.act.Backward(da)
+		mathx.Axpy(1, hd.fc1.Backward(da), dzcat)
+	}
+	dz := dzcat[:m.cfg.HiddenTrunk]
+	dz = m.drop.Backward(dz)
+	dz = m.trunkAct.Backward(dz)
+	dh := m.trunk.Backward(dz)
+	switch {
+	case m.lstm != nil:
+		m.lstm.Backward(dh)
+	case m.gru != nil:
+		m.gru.Backward(dh)
+	case m.conv != nil:
+		m.conv.Backward(dh)
+	default:
+		m.meanProj.Backward(dh)
+	}
+}
+
+// encodeForward runs the configured shared encoder over the window.
+func (m *Model) encodeForward(x [][]float64) []float64 {
+	if m.lstm != nil {
+		return m.lstm.Forward(x)
+	}
+	if m.gru != nil {
+		return m.gru.Forward(x)
+	}
+	if m.conv != nil {
+		return m.conv.Forward(x)
+	}
+	mean := make([]float64, m.cfg.InputDim)
+	for _, row := range x {
+		mathx.Axpy(1, row, mean)
+	}
+	mathx.Scale(1/float64(len(x)), mean)
+	return m.meanProj.Forward(mean)
+}
+
+// Predict runs inference (dropout disabled) on one covariate window and
+// returns probabilities.
+func (m *Model) Predict(x [][]float64) Output {
+	m.drop.SetTraining(false)
+	logits := m.rawForward(x)
+	out := Output{B: make([]float64, len(logits)), Theta: make([][]float64, len(logits))}
+	for k, lk := range logits {
+		out.B[k] = mathx.Sigmoid(lk[0])
+		th := make([]float64, m.cfg.Horizon)
+		for v := 0; v < m.cfg.Horizon; v++ {
+			th[v] = mathx.Sigmoid(lk[1+v])
+		}
+		out.Theta[k] = th
+	}
+	return out
+}
+
+// DecodeExistence applies Equation (4): event k is predicted to occur when
+// b_k >= tau1.
+func DecodeExistence(out Output, tau1 float64) []bool {
+	pred := make([]bool, len(out.B))
+	for k, b := range out.B {
+		pred[k] = b >= tau1
+	}
+	return pred
+}
+
+// DecodeInterval applies Equations (5)-(6): the occurrence interval spans
+// the first through last horizon offsets whose θ is at least tau2
+// (1-based offsets). When no offset reaches tau2 the interval degenerates
+// to the argmax offset and thresholdMet is false — a defined point estimate
+// is required downstream by C-REGRESS.
+func DecodeInterval(theta []float64, tau2 float64) (iv video.Interval, thresholdMet bool) {
+	lo, hi := -1, -1
+	for v, p := range theta {
+		if p >= tau2 {
+			if lo < 0 {
+				lo = v
+			}
+			hi = v
+		}
+	}
+	if lo < 0 {
+		best := mathx.MaxIdx(theta)
+		return video.Interval{Start: best + 1, End: best + 1}, false
+	}
+	return video.Interval{Start: lo + 1, End: hi + 1}, true
+}
+
+// DecodeIntervals is the multi-instance extension of Equation (6) the
+// paper sketches in footnote 1 (§II): instead of collapsing all
+// above-threshold offsets into one min..max span, it returns every
+// maximal run of offsets with θ >= tau2, merging runs separated by gaps
+// of at most mergeGap frames (small dips below the threshold inside one
+// occurrence). With mergeGap >= len(theta) it degenerates to
+// DecodeInterval's single span. An empty slice means no offset reached
+// tau2.
+func DecodeIntervals(theta []float64, tau2 float64, mergeGap int) []video.Interval {
+	if mergeGap < 0 {
+		mergeGap = 0
+	}
+	var out []video.Interval
+	runStart := -1
+	last := -1
+	for v, p := range theta {
+		if p < tau2 {
+			continue
+		}
+		switch {
+		case runStart < 0:
+			runStart = v
+		case v-last > mergeGap+1:
+			out = append(out, video.Interval{Start: runStart + 1, End: last + 1})
+			runStart = v
+		}
+		last = v
+	}
+	if runStart >= 0 {
+		out = append(out, video.Interval{Start: runStart + 1, End: last + 1})
+	}
+	return out
+}

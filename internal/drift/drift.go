@@ -1,0 +1,111 @@
+// Package drift implements the extension the paper's conclusion (§VIII)
+// names as future work: detecting and adapting to changes in the event
+// occurrence distribution over time. The conformal guarantees of
+// C-CLASSIFY and C-REGRESS hold only while new data stays exchangeable
+// with the calibration set; when the world shifts (a camera is moved, the
+// arrival process changes), realized coverage silently degrades.
+//
+// Monitor watches the stream of realized outcomes (was the true event kept
+// by the conformal layer?) over a sliding window and raises an alarm when
+// the empirical miss rate exceeds the nominal rate 1-c by more than a
+// Hoeffding-style slack — i.e. when the observed violation is too large to
+// be explained by sampling noise at the chosen alarm significance.
+// Recalibrator maintains a rolling buffer of recent labeled records from
+// which a fresh conformal calibration can be cut once the alarm fires.
+package drift
+
+import (
+	"fmt"
+	"math"
+)
+
+// Monitor is a sliding-window coverage monitor. The zero value is not
+// usable; see NewMonitor.
+type Monitor struct {
+	target   float64 // nominal coverage c
+	window   int
+	delta    float64 // alarm significance
+	outcomes []bool  // ring buffer: true = covered (event kept)
+	head     int
+	filled   int
+	misses   int
+	alarms   int
+	observed int
+}
+
+// NewMonitor watches coverage against the nominal level c over a sliding
+// window of n outcomes, raising alarms at significance delta (smaller
+// delta = fewer false alarms, slower detection).
+func NewMonitor(c float64, n int, delta float64) (*Monitor, error) {
+	if c <= 0 || c >= 1 {
+		return nil, fmt.Errorf("drift: coverage target %v must be in (0,1)", c)
+	}
+	if n < 10 {
+		return nil, fmt.Errorf("drift: window %d too small to monitor", n)
+	}
+	if delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("drift: significance %v must be in (0,1)", delta)
+	}
+	return &Monitor{target: c, window: n, delta: delta, outcomes: make([]bool, n)}, nil
+}
+
+// Observe records one realized outcome — covered reports whether the
+// conformal layer kept the true event (or the true boundary fell inside
+// the relayed interval). It returns true when the window's miss rate is
+// now significantly above the nominal 1-c.
+func (m *Monitor) Observe(covered bool) bool {
+	if m.filled == m.window {
+		if !m.outcomes[m.head] {
+			m.misses--
+		}
+	} else {
+		m.filled++
+	}
+	m.outcomes[m.head] = covered
+	if !covered {
+		m.misses++
+	}
+	m.head = (m.head + 1) % m.window
+	m.observed++
+	if m.Alarming() {
+		m.alarms++
+		return true
+	}
+	return false
+}
+
+// MissRate returns the current window's empirical miss rate.
+func (m *Monitor) MissRate() float64 {
+	if m.filled == 0 {
+		return 0
+	}
+	return float64(m.misses) / float64(m.filled)
+}
+
+// Threshold returns the alarm line: nominal miss rate plus the Hoeffding
+// slack sqrt(ln(1/delta)/(2n)) for the currently filled window.
+func (m *Monitor) Threshold() float64 {
+	n := m.filled
+	if n == 0 {
+		n = 1
+	}
+	return (1 - m.target) + math.Sqrt(math.Log(1/m.delta)/(2*float64(n)))
+}
+
+// Alarming reports whether the window currently violates coverage. It
+// requires at least half the window to be filled so early noise cannot
+// trip it.
+func (m *Monitor) Alarming() bool {
+	if m.filled < m.window/2 {
+		return false
+	}
+	return m.MissRate() > m.Threshold()
+}
+
+// Reset clears the window (call after recalibrating).
+func (m *Monitor) Reset() {
+	m.head, m.filled, m.misses = 0, 0, 0
+}
+
+// Stats reports lifetime counters: outcomes observed and alarms raised.
+func (m *Monitor) Stats() (observed, alarms int) { return m.observed, m.alarms }

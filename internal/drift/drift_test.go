@@ -1,0 +1,243 @@
+package drift
+
+import (
+	"testing"
+
+	"eventhit/internal/conformal"
+	"eventhit/internal/mathx"
+)
+
+func TestNewMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(0, 100, 0.05); err == nil {
+		t.Fatal("expected error for c=0")
+	}
+	if _, err := NewMonitor(1, 100, 0.05); err == nil {
+		t.Fatal("expected error for c=1")
+	}
+	if _, err := NewMonitor(0.9, 5, 0.05); err == nil {
+		t.Fatal("expected error for tiny window")
+	}
+	if _, err := NewMonitor(0.9, 100, 0); err == nil {
+		t.Fatal("expected error for delta=0")
+	}
+}
+
+func TestMonitorStationaryNoAlarm(t *testing.T) {
+	m, err := NewMonitor(0.9, 200, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mathx.NewRNG(1)
+	alarms := 0
+	for i := 0; i < 5000; i++ {
+		// True coverage exactly at nominal.
+		if m.Observe(g.Bernoulli(0.9)) {
+			alarms++
+		}
+	}
+	// At delta=0.01 over ~5000 overlapping windows a couple of false alarms
+	// are tolerable; a stream of them is not.
+	if alarms > 25 {
+		t.Fatalf("stationary stream raised %d alarms", alarms)
+	}
+}
+
+func TestMonitorDetectsCoverageCollapse(t *testing.T) {
+	m, err := NewMonitor(0.9, 200, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mathx.NewRNG(2)
+	for i := 0; i < 1000; i++ {
+		m.Observe(g.Bernoulli(0.9))
+	}
+	if m.Alarming() {
+		t.Fatal("pre-shift alarm")
+	}
+	// Distribution shift: coverage collapses to 0.6.
+	fired := -1
+	for i := 0; i < 1000; i++ {
+		if m.Observe(g.Bernoulli(0.6)) {
+			fired = i
+			break
+		}
+	}
+	if fired < 0 {
+		t.Fatal("coverage collapse never detected")
+	}
+	if fired > 400 {
+		t.Fatalf("detection took %d observations, too slow for a 200-window", fired)
+	}
+	obs, alarms := m.Stats()
+	if obs == 0 || alarms == 0 {
+		t.Fatal("stats not tracked")
+	}
+}
+
+func TestMonitorResetClearsWindow(t *testing.T) {
+	m, _ := NewMonitor(0.9, 100, 0.05)
+	for i := 0; i < 100; i++ {
+		m.Observe(false)
+	}
+	if !m.Alarming() {
+		t.Fatal("all-miss window must alarm")
+	}
+	m.Reset()
+	if m.Alarming() || m.MissRate() != 0 {
+		t.Fatal("Reset did not clear the window")
+	}
+}
+
+func TestMonitorHalfWindowGuard(t *testing.T) {
+	m, _ := NewMonitor(0.9, 100, 0.05)
+	// A handful of early misses must not alarm before the window is half
+	// full.
+	for i := 0; i < 49; i++ {
+		if m.Observe(false) {
+			t.Fatal("alarmed before half window")
+		}
+	}
+}
+
+func TestMonitorSlidingEviction(t *testing.T) {
+	m, _ := NewMonitor(0.5, 10, 0.5)
+	for i := 0; i < 10; i++ {
+		m.Observe(false)
+	}
+	if m.MissRate() != 1 {
+		t.Fatalf("miss rate %v", m.MissRate())
+	}
+	for i := 0; i < 10; i++ {
+		m.Observe(true)
+	}
+	if m.MissRate() != 0 {
+		t.Fatalf("after eviction miss rate %v, want 0", m.MissRate())
+	}
+}
+
+func TestRecalibratorValidation(t *testing.T) {
+	if _, err := NewRecalibrator(5, 1); err == nil {
+		t.Fatal("expected error for tiny buffer")
+	}
+	if _, err := NewRecalibrator(100, 0); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	r, _ := NewRecalibrator(100, 2)
+	if err := r.Add([]float64{0.5}, []bool{true, false}); err == nil {
+		t.Fatal("expected shape error")
+	}
+	if _, err := r.Rebuild(); err == nil {
+		t.Fatal("expected error on empty buffer")
+	}
+}
+
+func TestRecalibratorRollsOver(t *testing.T) {
+	r, _ := NewRecalibrator(10, 1)
+	for i := 0; i < 25; i++ {
+		if err := r.Add([]float64{float64(i)}, []bool{true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", r.Len())
+	}
+	c, err := r.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buffer holds scores 15..24; p-value of 14 must be 0.
+	if p := c.PValue(0, 14); p != 0 {
+		t.Fatalf("stale score p-value %v, want 0", p)
+	}
+	if p := c.PValue(0, 24); p != 10.0/11 {
+		t.Fatalf("freshest score p-value %v", p)
+	}
+}
+
+func TestRecalibratorDoesNotAliasInput(t *testing.T) {
+	r, _ := NewRecalibrator(10, 1)
+	b := []float64{0.7}
+	l := []bool{true}
+	r.Add(b, l)
+	b[0] = 0.1
+	l[0] = false
+	c, err := r.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := c.PValue(0, 0.7); p != 1.0/2 {
+		t.Fatalf("buffer aliased caller slices: p=%v", p)
+	}
+}
+
+// End-to-end: a conformal classifier calibrated on one score distribution
+// loses coverage when the distribution shifts; the monitor catches it and
+// the recalibrator restores coverage.
+func TestDriftDetectAndRecalibrate(t *testing.T) {
+	g := mathx.NewRNG(7)
+	oldScore := func() float64 { return mathx.Clamp(g.Normal(0.7, 0.15), 0, 1) }
+	newScore := func() float64 { return mathx.Clamp(g.Normal(0.35, 0.15), 0, 1) }
+
+	calibB := make([][]float64, 400)
+	calibL := make([][]bool, 400)
+	for i := range calibB {
+		calibB[i] = []float64{oldScore()}
+		calibL[i] = []bool{true}
+	}
+	cls, err := conformal.NewClassifier(calibB, calibL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const c = 0.9
+	mon, _ := NewMonitor(c, 150, 0.01)
+	rec, _ := NewRecalibrator(300, 1)
+
+	// Phase 1: stationary — coverage holds, no alarm.
+	for i := 0; i < 500; i++ {
+		b := oldScore()
+		kept := cls.Predict([]float64{b}, c)[0]
+		rec.Add([]float64{b}, []bool{true})
+		if mon.Observe(kept) {
+			t.Fatalf("false alarm at stationary step %d (miss rate %.3f)", i, mon.MissRate())
+		}
+	}
+
+	// Phase 2: the scorer degrades (feature drift) — alarm must fire.
+	alarmAt := -1
+	for i := 0; i < 600; i++ {
+		b := newScore()
+		kept := cls.Predict([]float64{b}, c)[0]
+		rec.Add([]float64{b}, []bool{true})
+		if mon.Observe(kept) {
+			alarmAt = i
+			break
+		}
+	}
+	if alarmAt < 0 {
+		t.Fatal("drift never detected")
+	}
+
+	// Phase 3: keep collecting post-alarm outcomes, then rebuild from only
+	// the fresh tail of the buffer; coverage is restored on the new
+	// distribution. (Rebuilding immediately at alarm time would calibrate
+	// on a stale/fresh mixture and restore nothing.)
+	for i := 0; i < 300; i++ {
+		rec.Add([]float64{newScore()}, []bool{true})
+	}
+	cls2, err := rec.RebuildRecent(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Reset()
+	kept := 0
+	n := 1000
+	for i := 0; i < n; i++ {
+		if cls2.Predict([]float64{newScore()}, c)[0] {
+			kept++
+		}
+	}
+	cov := float64(kept) / float64(n)
+	if cov < c-0.06 {
+		t.Fatalf("post-recalibration coverage %.3f below target %.2f", cov, c)
+	}
+}

@@ -1,0 +1,92 @@
+package drift
+
+import (
+	"fmt"
+
+	"eventhit/internal/conformal"
+)
+
+// Recalibrator keeps a rolling buffer of the most recent labeled
+// existence scores and rebuilds a C-CLASSIFY calibration from them on
+// demand. In deployment the labels come back for free: every relayed
+// horizon is ground-truthed by the CI itself, and skipped horizons can be
+// spot-checked at a low audit rate.
+type Recalibrator struct {
+	capacity int
+	k        int
+	scores   [][]float64
+	labels   [][]bool
+	head     int
+	filled   int
+}
+
+// NewRecalibrator buffers up to capacity records of k events each.
+func NewRecalibrator(capacity, k int) (*Recalibrator, error) {
+	if capacity < 10 {
+		return nil, fmt.Errorf("drift: recalibration buffer %d too small", capacity)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("drift: k must be positive")
+	}
+	return &Recalibrator{
+		capacity: capacity,
+		k:        k,
+		scores:   make([][]float64, capacity),
+		labels:   make([][]bool, capacity),
+	}, nil
+}
+
+// Add records one labeled outcome: the model's existence scores b and the
+// realized labels.
+func (r *Recalibrator) Add(b []float64, label []bool) error {
+	if len(b) != r.k || len(label) != r.k {
+		return fmt.Errorf("drift: got %d scores / %d labels, want %d", len(b), len(label), r.k)
+	}
+	bc := make([]float64, r.k)
+	lc := make([]bool, r.k)
+	copy(bc, b)
+	copy(lc, label)
+	r.scores[r.head] = bc
+	r.labels[r.head] = lc
+	r.head = (r.head + 1) % r.capacity
+	if r.filled < r.capacity {
+		r.filled++
+	}
+	return nil
+}
+
+// Len returns the number of buffered records.
+func (r *Recalibrator) Len() int { return r.filled }
+
+// Rebuild cuts a fresh C-CLASSIFY calibration from the whole buffer. It
+// fails (like conformal.NewClassifier) when some event has no buffered
+// positive.
+func (r *Recalibrator) Rebuild() (*conformal.Classifier, error) {
+	return r.RebuildRecent(r.capacity)
+}
+
+// RebuildRecent calibrates from only the n most recently added records —
+// the right call after a drift alarm, when older buffer entries still
+// reflect the pre-shift distribution. Collect enough post-alarm outcomes
+// first: calibrating on a stale/fresh mixture restores nothing.
+func (r *Recalibrator) RebuildRecent(n int) (*conformal.Classifier, error) {
+	if r.filled == 0 {
+		return nil, fmt.Errorf("drift: empty recalibration buffer")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("drift: n must be positive")
+	}
+	if n > r.filled {
+		n = r.filled
+	}
+	scores := make([][]float64, 0, n)
+	labels := make([][]bool, 0, n)
+	// head points at the slot after the newest entry.
+	start := (r.head - n + r.capacity) % r.capacity
+	for i := 0; i < n; i++ {
+		idx := (start + i) % r.capacity
+		scores = append(scores, r.scores[idx])
+		labels = append(labels, r.labels[idx])
+	}
+	return conformal.NewClassifier(scores, labels)
+}

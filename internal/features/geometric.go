@@ -1,0 +1,113 @@
+package features
+
+import (
+	"fmt"
+
+	"eventhit/internal/mathx"
+	"eventhit/internal/scene"
+	"eventhit/internal/video"
+)
+
+// GeometricExtractor derives covariates from the 2-D object world instead
+// of abstract phase ramps: per event, the normalized agent-anchor
+// distance, the approach speed and a noisy agent-presence indicator —
+// precisely the kind of channels §VI.A describes for VIRAT ("presence of
+// moving cars", "average distance between the cars and the persons").
+// It satisfies the same interface surface as Extractor (Dim, FrameVector,
+// Covariates) so the model and harness can consume either.
+type GeometricExtractor struct {
+	stream *video.Stream
+	world  *scene.World
+	events []int
+	cfg    DetectorConfig
+	seed   uint64
+}
+
+// NewGeometricExtractor builds the object world for stream and returns an
+// extractor over the given event-type indices.
+func NewGeometricExtractor(stream *video.Stream, events []int, cfg DetectorConfig, seed int64) (*GeometricExtractor, error) {
+	for _, k := range events {
+		if k < 0 || k >= stream.NumTypes() {
+			return nil, fmt.Errorf("features: event index %d out of range [0,%d)", k, stream.NumTypes())
+		}
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("features: task must include at least one event")
+	}
+	return &GeometricExtractor{
+		stream: stream,
+		world:  scene.NewWorld(stream, seed),
+		events: events,
+		cfg:    cfg,
+		seed:   uint64(seed) ^ 0x5ca1ab1e,
+	}, nil
+}
+
+// Dim returns the feature dimensionality (same layout as Extractor:
+// 3 channels per event + 3 globals).
+func (e *GeometricExtractor) Dim() int { return ChannelsPerEvent*len(e.events) + GlobalChannels }
+
+// NumEvents returns K.
+func (e *GeometricExtractor) NumEvents() int { return len(e.events) }
+
+// Events returns the task's stream event-type indices (do not modify).
+func (e *GeometricExtractor) Events() []int { return e.events }
+
+// Stream returns the underlying stream.
+func (e *GeometricExtractor) Stream() *video.Stream { return e.stream }
+
+// maxSpeed normalizes approach speeds; trajectories never exceed it.
+const maxSpeed = 0.02
+
+// FrameVector extracts the D-dimensional geometric feature vector of
+// frame t, appending into dst (which may be nil).
+func (e *GeometricExtractor) FrameVector(t int, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, 0, e.Dim())
+	}
+	ft := uint64(t)
+	var totalPresent, totalSpeed float64
+	for ci, k := range e.events {
+		gf := e.world.Features(k, t)
+		ck := uint64(ci)
+
+		dist := mathx.Clamp(gf.AgentAnchorDist/0.7, 0, 1) // typical start distance ~0.35-0.5
+		speed := mathx.Clamp(0.5+gf.ApproachSpeed/(2*maxSpeed), 0, 1)
+		present := 0.0
+		if gf.AgentPresent {
+			if mathx.Hash01(e.seed, ft, ck, 5) >= e.cfg.MissRate {
+				present = 1
+			}
+		} else if mathx.Hash01(e.seed, ft, ck, 5) < e.cfg.FPRate {
+			present = 1
+		}
+		// detector jitter on the continuous channels
+		dist = mathx.Clamp(dist+e.cfg.Jitter*mathx.HashNormal(e.seed, ft, ck, 3), 0, 1)
+		speed = mathx.Clamp(speed+e.cfg.Jitter*mathx.HashNormal(e.seed, ft, ck, 4), 0, 1)
+
+		dst = append(dst, dist, speed, present)
+		totalPresent += present
+		totalSpeed += speed
+	}
+	kf := float64(len(e.events))
+	clutterCount := mathx.Hash01(e.seed, ft, 1000) * 0.3
+	dst = append(dst, mathx.Clamp((totalPresent+clutterCount)/(kf+0.3), 0, 1))
+	dst = append(dst, mathx.Clamp(totalSpeed/kf+e.cfg.Jitter*mathx.HashNormal(e.seed, ft, 1001), 0, 1))
+	dst = append(dst, mathx.Hash01(e.seed, ft, 1002))
+	return dst
+}
+
+// Covariates extracts the M x D covariate matrix ending at frame t.
+func (e *GeometricExtractor) Covariates(t, m int) ([][]float64, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("features: window size %d must be positive", m)
+	}
+	if t-m+1 < 0 || t >= e.stream.N {
+		return nil, fmt.Errorf("features: window [%d,%d] outside stream of %d frames", t-m+1, t, e.stream.N)
+	}
+	out := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		out[i] = e.FrameVector(t-m+1+i, nil)
+	}
+	return out, nil
+}

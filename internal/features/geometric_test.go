@@ -1,0 +1,175 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"eventhit/internal/dataset"
+
+	"eventhit/internal/mathx"
+	"eventhit/internal/video"
+)
+
+func geomExtractor(t *testing.T) (*GeometricExtractor, *video.Stream) {
+	t.Helper()
+	st := video.Generate(video.THUMOS(), mathx.NewRNG(42))
+	ex, err := NewGeometricExtractor(st, []int{0}, DefaultDetector(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex, st
+}
+
+func TestNewGeometricExtractorValidation(t *testing.T) {
+	st := video.Generate(video.THUMOS(), mathx.NewRNG(42))
+	if _, err := NewGeometricExtractor(st, []int{9}, DefaultDetector(), 1); err == nil {
+		t.Fatal("expected error for bad event index")
+	}
+	if _, err := NewGeometricExtractor(st, nil, DefaultDetector(), 1); err == nil {
+		t.Fatal("expected error for empty task")
+	}
+}
+
+func TestGeometricFrameVectorShapeAndBounds(t *testing.T) {
+	ex, st := geomExtractor(t)
+	if ex.Dim() != ChannelsPerEvent+GlobalChannels || ex.NumEvents() != 1 {
+		t.Fatalf("Dim=%d NumEvents=%d", ex.Dim(), ex.NumEvents())
+	}
+	for f := 0; f < st.N; f += 1237 {
+		v := ex.FrameVector(f, nil)
+		if len(v) != ex.Dim() {
+			t.Fatalf("dim %d", len(v))
+		}
+		for i, x := range v {
+			if x < 0 || x > 1 || math.IsNaN(x) {
+				t.Fatalf("frame %d channel %d = %v", f, i, x)
+			}
+		}
+	}
+}
+
+func TestGeometricDeterministicAndSeeded(t *testing.T) {
+	ex, st := geomExtractor(t)
+	a := ex.FrameVector(2345, nil)
+	b := ex.FrameVector(2345, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic")
+		}
+	}
+	ex2, _ := NewGeometricExtractor(st, []int{0}, DefaultDetector(), 8)
+	c := ex2.FrameVector(2345, nil)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seed has no effect")
+	}
+}
+
+func TestGeometricDistanceChannelCarriesSignal(t *testing.T) {
+	ex, st := geomExtractor(t)
+	var lateSum, idleSum float64
+	var lateN, idleN int
+	for f := 0; f < st.N; f++ {
+		ph, prog := st.PhaseAt(0, f)
+		switch {
+		case ph == video.Precursor && prog > 0.8:
+			lateSum += ex.FrameVector(f, nil)[0]
+			lateN++
+		case ph == video.Idle:
+			if idleN < 20000 {
+				idleSum += ex.FrameVector(f, nil)[0]
+				idleN++
+			}
+		}
+	}
+	late, idle := lateSum/float64(lateN), idleSum/float64(idleN)
+	// Late precursor: agent nearly at the anchor, distance channel small;
+	// idle: clamps to max distance 1 (minus jitter).
+	if late > idle-0.3 {
+		t.Fatalf("distance channel uninformative: late=%.3f idle=%.3f", late, idle)
+	}
+}
+
+func TestGeometricCovariates(t *testing.T) {
+	ex, _ := geomExtractor(t)
+	x, err := ex.Covariates(100, 10)
+	if err != nil || len(x) != 10 || len(x[0]) != ex.Dim() {
+		t.Fatalf("Covariates: %v %dx?", err, len(x))
+	}
+	if _, err := ex.Covariates(3, 10); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := ex.Covariates(100, 0); err == nil {
+		t.Fatal("expected window error")
+	}
+}
+
+// An EventHit model must be trainable on geometric covariates: this is the
+// end-to-end check that the scene layer carries predictive signal.
+func TestGeometricFeaturesAreLearnable(t *testing.T) {
+	// Kept lightweight: logistic probe on the distance channel summarized
+	// over a window should separate positive from negative horizons far
+	// better than chance.
+	ex, st := geomExtractor(t)
+	type sample struct {
+		mean float64
+		pos  bool
+	}
+	g := mathx.NewRNG(5)
+	var samples []sample
+	for i := 0; i < 600; i++ {
+		anchor := 30 + g.Intn(st.N-300)
+		x, err := ex.Covariates(anchor, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m float64
+		for _, row := range x {
+			m += row[0]
+		}
+		m /= float64(len(x))
+		_, pos := st.FirstOverlapping(0, video.Interval{Start: anchor + 1, End: anchor + 200})
+		samples = append(samples, sample{mean: m, pos: pos})
+	}
+	// threshold at the midpoint of class means
+	var mp, mn float64
+	var np_, nn int
+	for _, s := range samples {
+		if s.pos {
+			mp += s.mean
+			np_++
+		} else {
+			mn += s.mean
+			nn++
+		}
+	}
+	if np_ == 0 || nn == 0 {
+		t.Fatal("degenerate sample")
+	}
+	mp /= float64(np_)
+	mn /= float64(nn)
+	thr := (mp + mn) / 2
+	correct := 0
+	for _, s := range samples {
+		pred := s.mean < thr // positives have smaller distance
+		if pred == s.pos {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(samples))
+	if acc < 0.65 {
+		t.Fatalf("geometric distance probe accuracy %.3f — signal too weak", acc)
+	}
+}
+
+// GeometricExtractor must satisfy the dataset.Source interface alongside
+// the default extractor (compile-time checks).
+func TestSourceInterfaceSatisfied(t *testing.T) {
+	var _ dataset.Source = (*GeometricExtractor)(nil)
+	var _ dataset.Source = (*Extractor)(nil)
+}

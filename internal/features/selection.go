@@ -1,0 +1,105 @@
+package features
+
+import (
+	"fmt"
+	"sort"
+
+	"eventhit/internal/mathx"
+)
+
+// Selection is the outcome of correlation-based feature selection (§III:
+// "We select features through standard correlation analysis methods"):
+// the retained channel indices, in their original order, and every
+// channel's relevance score.
+type Selection struct {
+	// Channels are the retained channel indices into the original feature
+	// vector, ascending.
+	Channels []int
+	// Scores[d] is the relevance of original channel d: the maximum
+	// absolute point-biserial correlation against any event label.
+	Scores []float64
+}
+
+// SelectByCorrelation ranks feature channels by their absolute
+// point-biserial correlation with the event labels across the provided
+// covariate windows (each windows[i] is an M x D matrix summarized by its
+// last row — the frame-level reading at the anchor) and keeps the topK
+// best. labels[i][k] is event k's truth for window i.
+func SelectByCorrelation(windows [][][]float64, labels [][]bool, topK int) (Selection, error) {
+	if len(windows) == 0 || len(windows) != len(labels) {
+		return Selection{}, fmt.Errorf("features: %d windows vs %d labels", len(windows), len(labels))
+	}
+	d := len(windows[0][len(windows[0])-1])
+	if topK <= 0 || topK > d {
+		return Selection{}, fmt.Errorf("features: topK %d outside [1,%d]", topK, d)
+	}
+	k := len(labels[0])
+	col := make([]float64, len(windows))
+	lab := make([]bool, len(windows))
+	sel := Selection{Scores: make([]float64, d)}
+	for ch := 0; ch < d; ch++ {
+		for i, w := range windows {
+			row := w[len(w)-1]
+			if len(row) != d {
+				return Selection{}, fmt.Errorf("features: window %d has %d channels, want %d", i, len(row), d)
+			}
+			col[i] = row[ch]
+		}
+		best := 0.0
+		for j := 0; j < k; j++ {
+			for i := range labels {
+				if len(labels[i]) != k {
+					return Selection{}, fmt.Errorf("features: labels %d has %d events, want %d", i, len(labels[i]), k)
+				}
+				lab[i] = labels[i][j]
+			}
+			r := mathx.PointBiserial(col, lab)
+			if r < 0 {
+				r = -r
+			}
+			if r > best {
+				best = r
+			}
+		}
+		sel.Scores[ch] = best
+	}
+	order := make([]int, d)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if sel.Scores[order[a]] != sel.Scores[order[b]] {
+			return sel.Scores[order[a]] > sel.Scores[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	sel.Channels = append(sel.Channels, order[:topK]...)
+	sort.Ints(sel.Channels)
+	return sel, nil
+}
+
+// Dim returns the projected dimensionality.
+func (s Selection) Dim() int { return len(s.Channels) }
+
+// Project maps an M x D covariate matrix to the selected channels,
+// returning a fresh M x topK matrix.
+func (s Selection) Project(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		pr := make([]float64, len(s.Channels))
+		for j, ch := range s.Channels {
+			pr[j] = row[ch]
+		}
+		out[i] = pr
+	}
+	return out
+}
+
+// ProjectAll maps a batch of covariate windows.
+func (s Selection) ProjectAll(xs [][][]float64) [][][]float64 {
+	out := make([][][]float64, len(xs))
+	for i, x := range xs {
+		out[i] = s.Project(x)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package features
+
+import (
+	"testing"
+
+	"eventhit/internal/mathx"
+	"eventhit/internal/video"
+)
+
+// synthetic windows where channel 0 is informative, channel 1 is noise,
+// channel 2 is anti-correlated (also informative).
+func selectionFixture(n int) (windows [][][]float64, labels [][]bool) {
+	g := mathx.NewRNG(3)
+	for i := 0; i < n; i++ {
+		lab := g.Bernoulli(0.5)
+		v := 0.1
+		if lab {
+			v = 0.9
+		}
+		w := [][]float64{{0, 0, 0}, {
+			mathx.Clamp(v+0.1*g.Normal(0, 1), 0, 1),
+			g.Float64(),
+			mathx.Clamp(1-v+0.1*g.Normal(0, 1), 0, 1),
+		}}
+		windows = append(windows, w)
+		labels = append(labels, []bool{lab})
+	}
+	return windows, labels
+}
+
+func TestSelectByCorrelationRanksInformativeChannels(t *testing.T) {
+	windows, labels := selectionFixture(400)
+	sel, err := SelectByCorrelation(windows, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Dim() != 2 {
+		t.Fatalf("Dim = %d", sel.Dim())
+	}
+	// Channels 0 and 2 (informative, incl. the anti-correlated one) must
+	// beat the noise channel 1.
+	if sel.Channels[0] != 0 || sel.Channels[1] != 2 {
+		t.Fatalf("Channels = %v, want [0 2]", sel.Channels)
+	}
+	if sel.Scores[1] >= sel.Scores[0] || sel.Scores[1] >= sel.Scores[2] {
+		t.Fatalf("noise channel outscored signal: %v", sel.Scores)
+	}
+}
+
+func TestSelectByCorrelationValidation(t *testing.T) {
+	windows, labels := selectionFixture(10)
+	if _, err := SelectByCorrelation(nil, nil, 1); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+	if _, err := SelectByCorrelation(windows, labels, 0); err == nil {
+		t.Fatal("expected error on topK=0")
+	}
+	if _, err := SelectByCorrelation(windows, labels, 4); err == nil {
+		t.Fatal("expected error on topK > D")
+	}
+	if _, err := SelectByCorrelation(windows, labels[:5], 2); err == nil {
+		t.Fatal("expected error on length mismatch")
+	}
+	bad := [][]bool{{true, false}}
+	for range windows[1:] {
+		bad = append(bad, []bool{true})
+	}
+	if _, err := SelectByCorrelation(windows, bad, 2); err == nil {
+		t.Fatal("expected error on inconsistent event counts")
+	}
+}
+
+func TestProjectShapes(t *testing.T) {
+	sel := Selection{Channels: []int{0, 2}}
+	x := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	p := sel.Project(x)
+	if len(p) != 2 || len(p[0]) != 2 || p[0][0] != 1 || p[0][1] != 3 || p[1][1] != 6 {
+		t.Fatalf("Project = %v", p)
+	}
+	all := sel.ProjectAll([][][]float64{x, x})
+	if len(all) != 2 || all[1][0][1] != 3 {
+		t.Fatalf("ProjectAll = %v", all)
+	}
+	// Projection must not alias the source.
+	p[0][0] = 99
+	if x[0][0] == 99 {
+		t.Fatal("Project aliased input")
+	}
+}
+
+func TestSelectionOnRealExtractor(t *testing.T) {
+	// On the simulated detector channels, the per-event cue/proximity
+	// channels must outrank the pure-noise clutter channel.
+	st := video.Generate(video.THUMOS(), mathx.NewRNG(1))
+	ex, err := NewExtractor(st, []int{0}, DefaultDetector(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var windows [][][]float64
+	var labels [][]bool
+	g := mathx.NewRNG(4)
+	for i := 0; i < 400; i++ {
+		anchor := 100 + g.Intn(st.N-400)
+		x, err := ex.Covariates(anchor, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, ok := st.FirstOverlapping(0, video.Interval{Start: anchor + 1, End: anchor + 200})
+		_ = in
+		windows = append(windows, x)
+		labels = append(labels, []bool{ok})
+	}
+	sel, err := SelectByCorrelation(windows, labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clutter := ex.Dim() - 1 // last channel is pure noise
+	for _, ch := range sel.Channels {
+		if ch == clutter {
+			t.Fatalf("pure-noise channel selected in top 3: %v (scores %v)", sel.Channels, sel.Scores)
+		}
+	}
+}

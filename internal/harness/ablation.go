@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"eventhit/internal/core"
+)
+
+// AblationRow is one design variant's operating points.
+type AblationRow struct {
+	Variant string
+	EHO     Point // raw thresholds (τ1 = τ2 = 0.5)
+	EHCR    Point // conformal at c = α = 0.9
+	MaxREC  float64
+	SPLAt09 float64 // min SPL reaching REC >= 0.9 across the EHCR sweep (-1 if unreached)
+}
+
+// Ablations quantifies the design choices DESIGN.md calls out, on one
+// task:
+//
+//   - full: the paper's architecture as implemented;
+//   - mean-encoder: LSTM replaced by mean-pooling (value of temporal
+//     modeling);
+//   - no-dropout: regularization removed;
+//   - uniform-sampling: training records drawn uniformly instead of
+//     stratified toward positives;
+//   - tau-sweep: no conformal layers at all, just sweeping the raw
+//     thresholds τ1 = τ2 (what conformal calibration buys beyond threshold
+//     tuning is visible in MaxREC / SPL@0.9).
+func Ablations(taskName string, opt Options, seed int64, w io.Writer) ([]AblationRow, error) {
+	task, err := TaskByName(taskName)
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name string
+		mod  func(*Options)
+	}{
+		{"full", func(*Options) {}},
+		{"gru-encoder", func(o *Options) { o.Mutate = func(c *core.Config) { c.Encoder = "gru" } }},
+		{"conv-encoder", func(o *Options) { o.Mutate = func(c *core.Config) { c.Encoder = "conv" } }},
+		{"mean-encoder", func(o *Options) { o.Mutate = func(c *core.Config) { c.Encoder = "mean" } }},
+		{"no-dropout", func(o *Options) { o.Mutate = func(c *core.Config) { c.Dropout = 0 } }},
+		{"uniform-sampling", func(o *Options) { o.TrainPosFrac = 0 }},
+	}
+	var rows []AblationRow
+	var fullEnv *Env
+	for _, v := range variants {
+		o := opt
+		v.mod(&o)
+		env, err := NewEnv(task, o, seed)
+		if err != nil {
+			return nil, fmt.Errorf("harness: ablation %s: %w", v.name, err)
+		}
+		if v.name == "full" {
+			fullEnv = env
+		}
+		eho, err := env.Eval(env.Bundle.EHO(), 0)
+		if err != nil {
+			return nil, err
+		}
+		ehcr, err := env.Eval(env.Bundle.EHCR(0.9, 0.9), 0.9)
+		if err != nil {
+			return nil, err
+		}
+		curve, err := env.CurveEHCR(ConfidenceLevels())
+		if err != nil {
+			return nil, err
+		}
+		row := AblationRow{Variant: v.name, EHO: eho, EHCR: ehcr}
+		for _, p := range curve {
+			if p.REC > row.MaxREC {
+				row.MaxREC = p.REC
+			}
+		}
+		if spl, ok := MinSPLAtREC(curve, 0.9); ok {
+			row.SPLAt09 = spl
+		} else {
+			row.SPLAt09 = -1
+		}
+		rows = append(rows, row)
+	}
+
+	// tau-sweep: the conformal-free alternative, swept over raw thresholds
+	// on the full model.
+	tauRow := AblationRow{Variant: "tau-sweep", SPLAt09: -1}
+	var tauCurve []Point
+	for _, tau := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7} {
+		p, err := fullEnv.Eval(fullEnv.Bundle.WithTaus(tau, tau).EHO(), tau)
+		if err != nil {
+			return nil, err
+		}
+		tauCurve = append(tauCurve, p)
+		if p.REC > tauRow.MaxREC {
+			tauRow.MaxREC = p.REC
+		}
+	}
+	if spl, ok := MinSPLAtREC(tauCurve, 0.9); ok {
+		tauRow.SPLAt09 = spl
+	}
+	tauRow.EHO = tauCurve[len(tauCurve)/2]
+	rows = append(rows, tauRow)
+
+	if w != nil {
+		t := NewTable(fmt.Sprintf("Ablations on %s (seed %d)", taskName, seed),
+			"variant", "EHO REC", "EHO SPL", "EHCR(.9) REC", "EHCR(.9) SPL", "max REC", "SPL@REC>=0.9")
+		for _, r := range rows {
+			at09 := "unreached"
+			if r.SPLAt09 >= 0 {
+				at09 = fmt.Sprintf("%.3f", r.SPLAt09)
+			}
+			if r.Variant == "tau-sweep" {
+				t.Addf(r.Variant, r.EHO.REC, r.EHO.SPL, "-", "-", r.MaxREC, at09)
+				continue
+			}
+			t.Addf(r.Variant, r.EHO.REC, r.EHO.SPL, r.EHCR.REC, r.EHCR.SPL, r.MaxREC, at09)
+		}
+		t.Render(w)
+	}
+	return rows, nil
+}

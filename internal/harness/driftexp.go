@@ -1,0 +1,189 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"eventhit/internal/core"
+	"eventhit/internal/dataset"
+	"eventhit/internal/drift"
+	"eventhit/internal/features"
+	"eventhit/internal/mathx"
+	"eventhit/internal/strategy"
+	"eventhit/internal/video"
+)
+
+// DriftResult summarizes the drift-adaptation experiment.
+type DriftResult struct {
+	Task             string
+	Confidence       float64
+	CoverageBefore   float64 // REC_c on the pre-shift region
+	CoverageAfter    float64 // REC_c on the post-shift region, stale calibration
+	AlarmRaised      bool
+	OutcomesToAlarm  int
+	CoverageRestored float64 // REC_c post-shift with recalibrated C-CLASSIFY
+}
+
+// DriftExperiment runs the §VIII future-work extension end-to-end on a
+// real task: EventHit is trained and conformally calibrated on a clean
+// region of the stream; at the switch frame the detector degrades
+// (covariate drift). The experiment measures how C-CLASSIFY's realized
+// coverage collapses under the stale calibration, how quickly the
+// monitor raises an alarm, and how much coverage a recalibration from
+// post-shift outcomes restores.
+func DriftExperiment(taskName string, opt Options, confidence float64, seed int64, w io.Writer) (*DriftResult, error) {
+	task, err := TaskByName(taskName)
+	if err != nil {
+		return nil, err
+	}
+	if task.NumEvents() != 1 {
+		return nil, fmt.Errorf("harness: drift experiment needs a single-event task, %s has %d", taskName, task.NumEvents())
+	}
+	g := mathx.NewRNG(seed)
+	cfg := dataset.Config{Window: task.Dataset.Window, Horizon: task.Dataset.Horizon}
+	st := video.Generate(task.Dataset, g.Split(1))
+
+	// Detector degrades at the start of the final eighth of the stream
+	// (the second half of the test region), leaving the first half of the
+	// test region as the clean pre-shift evaluation set. The degradation
+	// is severe: heavy measurement noise, frequent misses and false
+	// positives — a camera knocked out of position.
+	switchFrame := 7 * st.N / 8
+	// The degradation must destroy the positive-window signal (missed cues,
+	// washed-out ramps via CueGain) rather than add noise everywhere —
+	// broadband noise or extra false positives push scores up and break
+	// precision, not coverage.
+	degraded := features.DetectorConfig{
+		Jitter:   opt.Detector.Jitter,
+		MissRate: 0.9,
+		FPRate:   opt.Detector.FPRate,
+		CueGain:  0.25,
+	}
+	ex, err := features.NewDriftingExtractor(st, task.EventIdx, opt.Detector, degraded, switchFrame, seed)
+	if err != nil {
+		return nil, err
+	}
+	splits, err := dataset.Build(ex, dataset.SampleConfig{
+		Config: cfg,
+		NTrain: opt.NTrain, NCCalib: opt.NCCalib, NRCalib: opt.NRCalib, NTest: opt.NTest,
+		TrainPosFrac: opt.TrainPosFrac,
+	}, g.Split(2))
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.New(core.DefaultConfig(ex.Dim(), cfg.Window, cfg.Horizon, 1))
+	if err != nil {
+		return nil, err
+	}
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = opt.Epochs
+	if _, err := m.Train(splits.Train, tc); err != nil {
+		return nil, err
+	}
+	bundle, err := strategy.Calibrate(m, splits.CCalib, splits.RCalib)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &DriftResult{Task: taskName, Confidence: confidence, OutcomesToAlarm: -1}
+
+	// Pre-shift coverage: the ordinary test split lies in the third/fourth
+	// quarter; restrict to records whose whole window+horizon precedes the
+	// switch.
+	var preRecs []dataset.Record
+	for _, r := range splits.Test {
+		if r.Frame+cfg.Horizon < switchFrame {
+			preRecs = append(preRecs, r)
+		}
+	}
+	ehc := bundle.EHC(confidence)
+	res.CoverageBefore = positiveCoverage(ehc, preRecs)
+
+	// Post-shift streaming with monitor + recalibration buffer.
+	mon, err := drift.NewMonitor(confidence, 60, 0.05)
+	if err != nil {
+		return nil, err
+	}
+	recal, err := drift.NewRecalibrator(1200, 1)
+	if err != nil {
+		return nil, err
+	}
+	var postRecs []dataset.Record
+	outcomes := 0
+	stride := cfg.Horizon / 4
+	if stride == 0 {
+		stride = 1
+	}
+	for t := switchFrame + cfg.Window; t+cfg.Horizon < st.N; t += stride {
+		rec, err := dataset.BuildRecord(ex, t, cfg)
+		if err != nil {
+			return nil, err
+		}
+		postRecs = append(postRecs, rec)
+		out := m.Predict(rec.X)
+		if err := recal.Add(out.B, rec.Label); err != nil {
+			return nil, err
+		}
+		if !rec.Label[0] {
+			continue
+		}
+		kept := ehc.Predict(rec)
+		outcomes++
+		if mon.Observe(kept.Occur[0]) && !res.AlarmRaised {
+			res.AlarmRaised = true
+			res.OutcomesToAlarm = outcomes
+		}
+	}
+	res.CoverageAfter = positiveCoverage(ehc, postRecs)
+
+	// Recalibrate C-CLASSIFY from the freshest post-shift outcomes and
+	// re-score the post-shift region.
+	cls, err := recal.RebuildRecent(600)
+	if err != nil {
+		return nil, err
+	}
+	kept, pos := 0, 0
+	for _, r := range postRecs {
+		if !r.Label[0] {
+			continue
+		}
+		pos++
+		out := m.Predict(r.X)
+		if cls.Predict(out.B, confidence)[0] {
+			kept++
+		}
+	}
+	if pos > 0 {
+		res.CoverageRestored = float64(kept) / float64(pos)
+	}
+
+	if w != nil {
+		t := NewTable(fmt.Sprintf("Drift adaptation on %s (c=%.2f, detector degrades at frame %d)",
+			taskName, confidence, switchFrame), "quantity", "value")
+		t.Addf("existence coverage, pre-shift", res.CoverageBefore)
+		t.Addf("existence coverage, post-shift (stale calibration)", res.CoverageAfter)
+		t.Addf("alarm raised", res.AlarmRaised)
+		t.Addf("positive outcomes until alarm", res.OutcomesToAlarm)
+		t.Addf("existence coverage, post-shift (recalibrated)", res.CoverageRestored)
+		t.Render(w)
+	}
+	return res, nil
+}
+
+// positiveCoverage is REC_c of one strategy restricted to positives.
+func positiveCoverage(s strategy.Strategy, recs []dataset.Record) float64 {
+	kept, pos := 0, 0
+	for _, r := range recs {
+		if !r.Label[0] {
+			continue
+		}
+		pos++
+		if s.Predict(r).Occur[0] {
+			kept++
+		}
+	}
+	if pos == 0 {
+		return 0
+	}
+	return float64(kept) / float64(pos)
+}

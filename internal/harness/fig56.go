@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+)
+
+// Fig5Tasks returns the four representative tasks of Figures 5 and 6.
+func Fig5Tasks() []string { return []string{"TA1", "TA5", "TA7", "TA10"} }
+
+// Fig56Result holds one task's sweep of a conformal knob: REC, SPL and the
+// relevant component recall at each level.
+type Fig56Result struct {
+	Task   string
+	Knob   string // "c" or "alpha"
+	Points []Point
+}
+
+// Fig5 reproduces Figure 5: EHC with varying confidence c, reporting REC,
+// SPL and REC_c on the representative tasks.
+func Fig5(opt Options, trials int, seed int64, w io.Writer) ([]Fig56Result, error) {
+	return fig56(opt, trials, seed, w, "c", func(env *Env, levels []float64) ([]Point, error) {
+		return env.CurveEHC(levels)
+	})
+}
+
+// Fig6 reproduces Figure 6: EHR with varying coverage α, reporting REC,
+// SPL and REC_r on the representative tasks.
+func Fig6(opt Options, trials int, seed int64, w io.Writer) ([]Fig56Result, error) {
+	return fig56(opt, trials, seed, w, "alpha", func(env *Env, levels []float64) ([]Point, error) {
+		return env.CurveEHR(levels)
+	})
+}
+
+func fig56(opt Options, trials int, seed int64, w io.Writer, knob string,
+	curve func(*Env, []float64) ([]Point, error)) ([]Fig56Result, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("harness: trials must be positive")
+	}
+	var out []Fig56Result
+	levels := ConfidenceLevels()
+	for _, name := range Fig5Tasks() {
+		task, err := TaskByName(name)
+		if err != nil {
+			return nil, err
+		}
+		var trialPts [][]Point
+		for trial := 0; trial < trials; trial++ {
+			env, err := NewEnv(task, opt, seed+int64(trial))
+			if err != nil {
+				return nil, err
+			}
+			pts, err := curve(env, levels)
+			if err != nil {
+				return nil, err
+			}
+			trialPts = append(trialPts, pts)
+		}
+		res := Fig56Result{Task: name, Knob: knob, Points: AveragePoints(trialPts)}
+		out = append(out, res)
+		if w != nil {
+			comp := "REC_c"
+			fig := "5"
+			if knob == "alpha" {
+				comp = "REC_r"
+				fig = "6"
+			}
+			t := NewTable(fmt.Sprintf("Figure %s (%s) — EH%s sweep (avg of %d trials)",
+				fig, name, map[string]string{"c": "C", "alpha": "R"}[knob], trials),
+				knob, "REC", "SPL", comp)
+			for _, p := range res.Points {
+				v := p.RECc
+				if knob == "alpha" {
+					v = p.RECr
+				}
+				t.Addf(p.Knob, p.REC, p.SPL, v)
+			}
+			t.Render(w)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"eventhit/internal/cloud"
+	"eventhit/internal/metrics"
+)
+
+// Fig8Point is one (REC, expense) operating point of the monetary case
+// study.
+type Fig8Point struct {
+	Algorithm string
+	Knob      float64
+	REC       float64
+	USD       float64
+}
+
+// Fig8 reproduces the §VI.G case study on TA1: REC versus CI expense at
+// Amazon Rekognition pricing (US $0.001/frame) for the EHCR and COX
+// curves, with OPT (true event frames only) and BF (every frame) as the
+// anchors.
+func Fig8(opt Options, trials int, seed int64, w io.Writer) ([]Fig8Point, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("harness: trials must be positive")
+	}
+	task, err := TaskByName("TA1")
+	if err != nil {
+		return nil, err
+	}
+	price := cloud.RekognitionPricing().PerFrameUSD
+	var ehcrTrials, coxTrials [][]Point
+	var optUSD, bfUSD float64
+	for trial := 0; trial < trials; trial++ {
+		env, err := NewEnv(task, opt, seed+int64(trial))
+		if err != nil {
+			return nil, err
+		}
+		ehcr, err := env.CurveEHCR(ConfidenceLevels())
+		if err != nil {
+			return nil, err
+		}
+		ehcrTrials = append(ehcrTrials, ehcr)
+		cox, err := env.CurveCox(CoxTaus())
+		if err != nil {
+			return nil, err
+		}
+		coxTrials = append(coxTrials, cox)
+		optUSD += float64(metrics.TrueEventFrames(env.Splits.Test)) * price
+		bfUSD += float64(len(env.Splits.Test)*env.Cfg.Horizon*task.NumEvents()) * price
+	}
+	optUSD /= float64(trials)
+	bfUSD /= float64(trials)
+
+	var out []Fig8Point
+	out = append(out,
+		Fig8Point{Algorithm: "OPT", REC: 1, USD: optUSD},
+		Fig8Point{Algorithm: "BF", REC: 1, USD: bfUSD},
+	)
+	for _, p := range AveragePoints(ehcrTrials) {
+		out = append(out, Fig8Point{Algorithm: "EHCR", Knob: p.Knob, REC: p.REC,
+			USD: float64(p.Frames) * price})
+	}
+	for _, p := range AveragePoints(coxTrials) {
+		out = append(out, Fig8Point{Algorithm: "COX", Knob: p.Knob, REC: p.REC,
+			USD: float64(p.Frames) * price})
+	}
+	if w != nil {
+		t := NewTable(fmt.Sprintf("Figure 8 — REC vs expense on TA1 at $%.3f/frame (avg of %d trials)", price, trials),
+			"algorithm", "knob", "REC", "expense($)")
+		for _, p := range out {
+			t.Addf(p.Algorithm, p.Knob, p.REC, fmt.Sprintf("%.2f", p.USD))
+		}
+		t.Render(w)
+	}
+	return out, nil
+}

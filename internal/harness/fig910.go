@@ -1,0 +1,166 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"eventhit/internal/cloud"
+	"eventhit/internal/metrics"
+	"eventhit/internal/pipeline"
+	"eventhit/internal/strategy"
+)
+
+// Fig9Point is one (REC, FPS) operating point of one algorithm on one task.
+type Fig9Point struct {
+	Task      string
+	Algorithm string
+	Knob      float64
+	REC       float64
+	FPS       float64
+}
+
+// Fig9Tasks returns the two tasks of Figure 9.
+func Fig9Tasks() []string { return []string{"TA10", "TA11"} }
+
+// Fig9 reproduces Figure 9: REC versus simulated end-to-end FPS for EHCR,
+// COX and VQS on TA10 and TA11, sweeping each algorithm's knob and running
+// the full marshalling pipeline (feature extraction + predictor + CI) over
+// the test region of the stream.
+func Fig9(opt Options, seed int64, w io.Writer) ([]Fig9Point, error) {
+	var out []Fig9Point
+	for _, name := range Fig9Tasks() {
+		task, err := TaskByName(name)
+		if err != nil {
+			return nil, err
+		}
+		env, err := NewEnv(task, opt, seed)
+		if err != nil {
+			return nil, err
+		}
+		start, end := testRegion(env)
+		run := func(algo string, knob float64, s strategy.Strategy, costs pipeline.Costs) error {
+			ci := cloud.NewService(env.Stream, cloud.RekognitionPricing(), cloud.DefaultLatency())
+			m, err := pipeline.New(env.Ex, s, ci, env.Cfg, costs)
+			if err != nil {
+				return err
+			}
+			rep, recs, preds, err := m.Run(start, end)
+			if err != nil {
+				return err
+			}
+			rec, err := metrics.REC(recs, preds)
+			if err != nil {
+				return err
+			}
+			out = append(out, Fig9Point{Task: name, Algorithm: algo, Knob: knob, REC: rec, FPS: rep.FPS()})
+			return nil
+		}
+		for _, level := range ConfidenceLevels() {
+			if err := run("EHCR", level, env.Bundle.EHCR(level, level),
+				pipeline.EventHitCosts(env.Cfg.Window)); err != nil {
+				return nil, err
+			}
+		}
+		for _, tau := range CoxTaus() {
+			if err := run("COX", tau, env.Cox.WithTau(tau),
+				pipeline.EventHitCosts(env.Cfg.Window)); err != nil {
+				return nil, err
+			}
+		}
+		for _, tau := range VQSTaus(env.Cfg.Horizon) {
+			if err := run("VQS", float64(tau), env.VQS.WithTau(tau),
+				pipeline.VQSCosts(env.Cfg.Horizon)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if w != nil {
+		t := NewTable("Figure 9 — REC vs simulated FPS", "task", "algorithm", "knob", "REC", "FPS")
+		for _, p := range out {
+			t.Addf(p.Task, p.Algorithm, p.Knob, p.REC, fmt.Sprintf("%.1f", p.FPS))
+		}
+		t.Render(w)
+	}
+	return out, nil
+}
+
+// Fig10Result is the per-stage time breakdown of EHCR at a recall target.
+type Fig10Result struct {
+	Task                             string
+	TargetREC                        float64
+	AchievedREC                      float64
+	Knob                             float64
+	ScanShare, PredictShare, CIShare float64
+	FPS                              float64
+}
+
+// Fig10 reproduces Figure 10: the proportion of processing time spent on
+// feature extraction, EventHit inference and the CI when EHCR runs TA10 at
+// the smallest knob setting reaching REC >= target (the paper uses 0.9;
+// CI time dominates).
+func Fig10(opt Options, target float64, seed int64, w io.Writer) (*Fig10Result, error) {
+	task, err := TaskByName("TA10")
+	if err != nil {
+		return nil, err
+	}
+	env, err := NewEnv(task, opt, seed)
+	if err != nil {
+		return nil, err
+	}
+	start, end := testRegion(env)
+	var best *Fig10Result
+	for _, level := range ConfidenceLevels() {
+		ci := cloud.NewService(env.Stream, cloud.RekognitionPricing(), cloud.DefaultLatency())
+		m, err := pipeline.New(env.Ex, env.Bundle.EHCR(level, level), ci, env.Cfg,
+			pipeline.EventHitCosts(env.Cfg.Window))
+		if err != nil {
+			return nil, err
+		}
+		rep, recs, preds, err := m.Run(start, end)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := metrics.REC(recs, preds)
+		if err != nil {
+			return nil, err
+		}
+		if rec < target {
+			continue
+		}
+		scan, pred, cis := rep.StageShares()
+		r := &Fig10Result{
+			Task: task.Name, TargetREC: target, AchievedREC: rec, Knob: level,
+			ScanShare: scan, PredictShare: pred, CIShare: cis, FPS: rep.FPS(),
+		}
+		if best == nil || rep.CIFrames < 0 { // first qualifying level is the cheapest
+			best = r
+			break
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("harness: EHCR never reached REC >= %.2f on %s", target, task.Name)
+	}
+	if w != nil {
+		t := NewTable(fmt.Sprintf("Figure 10 — stage time shares on %s at REC>=%.2f (achieved %.3f, c=alpha=%.3f)",
+			best.Task, target, best.AchievedREC, best.Knob),
+			"stage", "share")
+		t.Addf("Feature Extraction", fmt.Sprintf("%.1f%%", 100*best.ScanShare))
+		t.Addf("EventHit", fmt.Sprintf("%.1f%%", 100*best.PredictShare))
+		t.Addf("Cloud Infrastructure", fmt.Sprintf("%.1f%%", 100*best.CIShare))
+		t.Render(w)
+	}
+	return best, nil
+}
+
+// testRegion returns the stream frame range of the test split, so pipeline
+// runs score out-of-sample.
+func testRegion(env *Env) (start, end int) {
+	start = env.Splits.Test[0].Frame
+	end = env.Stream.N - 1
+	for _, r := range env.Splits.Test {
+		if r.Frame < start {
+			start = r.Frame
+		}
+	}
+	return start, end
+}

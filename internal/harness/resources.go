@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"eventhit/internal/core"
+	"eventhit/internal/strategy"
+)
+
+// ResourceReport covers §VI.H's accounting: training time, model size and
+// per-record inference latency of the locally deployed EventHit.
+type ResourceReport struct {
+	Task            string
+	Params          int
+	ParamBytes      int
+	TrainRecords    int
+	TrainEpochs     int
+	TrainTime       time.Duration
+	InferencePerRec time.Duration
+	CalibTime       time.Duration
+}
+
+// Resources measures EventHit's footprint on a task (§VI.H reports <1h
+// training and ~150MB GPU on the paper's hardware; the shape to check here
+// is that the local model is orders of magnitude cheaper than the CI).
+func Resources(task Task, opt Options, seed int64, w io.Writer) (*ResourceReport, error) {
+	env, err := NewEnv(task, opt, seed) // includes training; re-time it below
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.New(env.Bundle.Model.Config())
+	if err != nil {
+		return nil, err
+	}
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = opt.Epochs
+	t0 := time.Now()
+	if _, err := m.Train(env.Splits.Train, tc); err != nil {
+		return nil, err
+	}
+	trainTime := time.Since(t0)
+
+	t0 = time.Now()
+	if _, err := strategy.Calibrate(m, env.Splits.CCalib, env.Splits.RCalib); err != nil {
+		return nil, err
+	}
+	calibTime := time.Since(t0)
+
+	n := len(env.Splits.Test)
+	if n > 200 {
+		n = 200
+	}
+	t0 = time.Now()
+	for _, r := range env.Splits.Test[:n] {
+		m.Predict(r.X)
+	}
+	perRec := time.Since(t0) / time.Duration(n)
+
+	rep := &ResourceReport{
+		Task:            task.Name,
+		Params:          m.NumParams(),
+		ParamBytes:      m.NumParams() * 8,
+		TrainRecords:    len(env.Splits.Train),
+		TrainEpochs:     opt.Epochs,
+		TrainTime:       trainTime,
+		InferencePerRec: perRec,
+		CalibTime:       calibTime,
+	}
+	if w != nil {
+		t := NewTable(fmt.Sprintf("§VI.H — EventHit resource footprint on %s", task.Name), "quantity", "value")
+		t.Addf("parameters", rep.Params)
+		t.Addf("model size", fmt.Sprintf("%.1f KiB", float64(rep.ParamBytes)/1024))
+		t.Addf("training records", rep.TrainRecords)
+		t.Addf("training epochs", rep.TrainEpochs)
+		t.Addf("training time", rep.TrainTime.Round(time.Millisecond).String())
+		t.Addf("conformal calibration time", rep.CalibTime.Round(time.Millisecond).String())
+		t.Addf("inference / record", rep.InferencePerRec.Round(time.Microsecond).String())
+		t.Render(w)
+	}
+	return rep, nil
+}
+
+// TrainLossCurve trains a fresh model and reports the per-epoch loss — a
+// convergence sanity check exposed by the CLI.
+func TrainLossCurve(task Task, opt Options, seed int64, w io.Writer) ([]float64, error) {
+	env, err := NewEnv(task, opt, seed)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.New(env.Bundle.Model.Config())
+	if err != nil {
+		return nil, err
+	}
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = opt.Epochs
+	tc.Log = w
+	stats, err := m.Train(env.Splits.Train, tc)
+	if err != nil {
+		return nil, err
+	}
+	return stats.EpochLoss, nil
+}

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"eventhit/internal/metrics"
+	"eventhit/internal/strategy"
+)
+
+// SummaryRow is one task's headline numbers.
+type SummaryRow struct {
+	Task     string
+	EHO      Point
+	EHOCI    metrics.CI // 95% bootstrap CI on EHO's REC
+	EHCR90   Point      // EHCR at c = α = 0.9
+	MaxREC   float64
+	SPLAtMax float64
+}
+
+// Summary prints the compact all-tasks overview: for every Table II task,
+// the EHO operating point, EHCR at the 0.9/0.9 knobs, and the top of the
+// EHCR curve — the numbers a reader checks first against Figure 4.
+func Summary(opt Options, seed int64, w io.Writer) ([]SummaryRow, error) {
+	var rows []SummaryRow
+	for _, task := range Tasks() {
+		env, err := NewEnv(task, opt, seed)
+		if err != nil {
+			return nil, err
+		}
+		eho, err := env.Eval(env.Bundle.EHO(), 0)
+		if err != nil {
+			return nil, err
+		}
+		ehoPreds := strategy.PredictAll(env.Bundle.EHO(), env.Splits.Test)
+		ci, err := metrics.RECBootstrap(env.Splits.Test, ehoPreds, 200, 0.95, seed)
+		if err != nil {
+			return nil, err
+		}
+		mid, err := env.Eval(env.Bundle.EHCR(0.9, 0.9), 0.9)
+		if err != nil {
+			return nil, err
+		}
+		curve, err := env.CurveEHCR(ConfidenceLevels())
+		if err != nil {
+			return nil, err
+		}
+		row := SummaryRow{Task: task.Name, EHO: eho, EHOCI: ci, EHCR90: mid}
+		for _, p := range curve {
+			if p.REC > row.MaxREC {
+				row.MaxREC = p.REC
+				row.SPLAtMax = p.SPL
+			}
+		}
+		rows = append(rows, row)
+		if w != nil {
+			fmt.Fprintf(w, "%s done\n", task.Name)
+		}
+	}
+	if w != nil {
+		t := NewTable(fmt.Sprintf("All-task summary (seed %d, 95%% bootstrap CI on EHO REC)", seed),
+			"task", "EHO REC [95% CI]", "EHO SPL", "EHCR(.9) REC", "EHCR(.9) SPL", "EHCR max REC", "SPL at max")
+		for _, r := range rows {
+			t.Addf(r.Task, r.EHOCI.String(), r.EHO.SPL, r.EHCR90.REC, r.EHCR90.SPL, r.MaxREC, r.SPLAtMax)
+		}
+		t.Render(w)
+	}
+	return rows, nil
+}

@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"eventhit/internal/mathx"
+	"eventhit/internal/video"
+)
+
+// Table1Row is one event's statistics: the Table I targets and what the
+// generator produced.
+type Table1Row struct {
+	Dataset   string
+	Event     string
+	ID        int
+	WantOcc   int
+	WantMean  float64
+	WantStd   float64
+	GotOcc    float64
+	GotMean   float64
+	GotStd    float64
+	GotCensor float64 // fraction of instances longer than the dataset horizon
+}
+
+// Table1 regenerates Table I: it generates each dataset `trials` times and
+// reports occurrence counts and duration statistics next to the paper's
+// targets.
+func Table1(trials int, seed int64, w io.Writer) ([]Table1Row, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("harness: trials must be positive")
+	}
+	var rows []Table1Row
+	for _, spec := range []video.DatasetSpec{video.VIRAT(), video.THUMOS(), video.Breakfast()} {
+		perEvent := make([][]float64, len(spec.Events)) // durations pooled across trials
+		counts := make([]float64, len(spec.Events))
+		for trial := 0; trial < trials; trial++ {
+			st := video.Generate(spec, mathx.NewRNG(seed+int64(trial)))
+			for k := range spec.Events {
+				d := st.Durations(k)
+				counts[k] += float64(len(d))
+				perEvent[k] = append(perEvent[k], d...)
+			}
+		}
+		for k, ev := range spec.Events {
+			s := mathx.Summarize(perEvent[k])
+			long := 0
+			for _, d := range perEvent[k] {
+				if int(d) > spec.Horizon {
+					long++
+				}
+			}
+			rows = append(rows, Table1Row{
+				Dataset:  spec.Name,
+				Event:    ev.Name,
+				ID:       ev.ID,
+				WantOcc:  ev.Occurrences,
+				WantMean: ev.MeanDur,
+				WantStd:  ev.StdDur,
+				GotOcc:   counts[k] / float64(trials),
+				GotMean:  s.Mean,
+				GotStd:   s.Std,
+				GotCensor: func() float64 {
+					if len(perEvent[k]) == 0 {
+						return 0
+					}
+					return float64(long) / float64(len(perEvent[k]))
+				}(),
+			})
+		}
+	}
+	if w != nil {
+		t := NewTable("Table I — events of interest (paper target vs generated)",
+			"event", "dataset", "occ(paper)", "occ(gen)", "avg(paper)", "avg(gen)", "std(paper)", "std(gen)")
+		for _, r := range rows {
+			t.Addf(fmt.Sprintf("E%d: %s", r.ID, r.Event), r.Dataset,
+				r.WantOcc, fmt.Sprintf("%.1f", r.GotOcc),
+				fmt.Sprintf("%.1f", r.WantMean), fmt.Sprintf("%.1f", r.GotMean),
+				fmt.Sprintf("%.1f", r.WantStd), fmt.Sprintf("%.1f", r.GotStd))
+		}
+		t.Render(w)
+	}
+	return rows, nil
+}
+
+// Table2 prints the task definitions of Table II.
+func Table2(w io.Writer) []Task {
+	tasks := Tasks()
+	if w != nil {
+		t := NewTable("Table II — tasks", "task", "events", "dataset", "M", "H")
+		for _, task := range tasks {
+			evs := ""
+			for i, id := range task.EventIDs {
+				if i > 0 {
+					evs += ","
+				}
+				evs += fmt.Sprintf("E%d", id)
+			}
+			t.Addf(task.Name, "{"+evs+"}", task.Dataset.Name, task.Dataset.Window, task.Dataset.Horizon)
+		}
+		t.Render(w)
+	}
+	return tasks
+}

@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"eventhit/internal/core"
+	"eventhit/internal/tune"
+)
+
+// TuneExperiment runs the §III β/γ grid search on one task and reports
+// every grid point's validation objective plus the winner.
+func TuneExperiment(taskName string, opt Options, seed int64, w io.Writer) ([]tune.Result, error) {
+	task, err := TaskByName(taskName)
+	if err != nil {
+		return nil, err
+	}
+	env, err := NewEnv(task, opt, seed) // reuse its splits; the search retrains
+	if err != nil {
+		return nil, err
+	}
+	base := core.DefaultConfig(env.Ex.Dim(), env.Cfg.Window, env.Cfg.Horizon, task.NumEvents())
+	base.Seed = seed
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = opt.Epochs
+	results, best, err := tune.Search(base, tc, tune.DefaultGrid(), nil,
+		env.Splits.Train, env.Splits.CCalib, env.Splits.RCalib, env.Splits.Test, nil)
+	if err != nil {
+		return nil, err
+	}
+	if w != nil {
+		t := NewTable(fmt.Sprintf("β/γ grid search on %s (objective: REC - 0.5·SPL of EHO)", taskName),
+			"beta", "gamma", "score")
+		for _, r := range results {
+			t.Addf(r.Beta, r.Gamma, r.Score)
+		}
+		t.Render(w)
+		top, err := tune.Best(results)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "winner: beta=%.2f gamma=%.2f (model %d params)\n\n",
+			top.Beta, top.Gamma, best.Model.NumParams())
+	}
+	return results, nil
+}

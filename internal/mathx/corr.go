@@ -1,0 +1,40 @@
+package mathx
+
+import "math"
+
+// Pearson returns the Pearson correlation coefficient of x and y, or 0
+// when either has zero variance. It panics on length mismatch.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("mathx: Pearson length mismatch")
+	}
+	if len(x) == 0 {
+		return 0
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// PointBiserial returns the point-biserial correlation between a
+// continuous variable x and a boolean label y — the standard measure for
+// ranking feature channels against a binary event label. It is exactly
+// Pearson with y encoded as 0/1.
+func PointBiserial(x []float64, y []bool) float64 {
+	enc := make([]float64, len(y))
+	for i, v := range y {
+		if v {
+			enc[i] = 1
+		}
+	}
+	return Pearson(x, enc)
+}

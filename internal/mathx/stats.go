@@ -1,0 +1,84 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return Sum(x) / float64(len(x))
+}
+
+// Std returns the population standard deviation of x, or 0 when len(x) < 2.
+func Std(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	var ss float64
+	for _, v := range x {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(x)))
+}
+
+// CeilQuantile returns the ceil(alpha*n)-th smallest value of x (1-based),
+// the order statistic used by split conformal regression (Algorithm 2,
+// lines 15-16). The index is clamped to [1, n] so alpha <= 0 yields the
+// minimum and alpha >= 1 the maximum. It panics on an empty slice.
+//
+// x is not modified.
+func CeilQuantile(x []float64, alpha float64) float64 {
+	if len(x) == 0 {
+		panic("mathx: CeilQuantile of empty slice")
+	}
+	sorted := Clone(x)
+	sort.Float64s(sorted)
+	k := int(math.Ceil(alpha * float64(len(sorted))))
+	k = ClampInt(k, 1, len(sorted))
+	return sorted[k-1]
+}
+
+// Histogram counts values of x into nbins equal-width bins over [lo, hi].
+// Values outside the range are clamped into the end bins. It panics when
+// nbins <= 0 or hi <= lo.
+func Histogram(x []float64, lo, hi float64, nbins int) []int {
+	if nbins <= 0 {
+		panic("mathx: Histogram nbins must be positive")
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("mathx: Histogram empty range [%g,%g]", lo, hi))
+	}
+	counts := make([]int, nbins)
+	w := (hi - lo) / float64(nbins)
+	for _, v := range x {
+		b := int((v - lo) / w)
+		b = ClampInt(b, 0, nbins-1)
+		counts[b]++
+	}
+	return counts
+}
+
+// Summary bundles count, mean and standard deviation of a sample; it is
+// what Table I reports for event durations.
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64
+}
+
+// Summarize computes a Summary of x.
+func Summarize(x []float64) Summary {
+	return Summary{N: len(x), Mean: Mean(x), Std: Std(x)}
+}
+
+// String renders the summary the way Table I prints duration columns.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d avg=%.1f std=%.1f", s.N, s.Mean, s.Std)
+}

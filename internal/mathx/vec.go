@@ -1,0 +1,133 @@
+// Package mathx provides the small numerical toolkit the rest of the
+// repository is built on: dense vector helpers, numerically stable
+// activations, order statistics (including the ceil-quantile used by split
+// conformal prediction), summary statistics, and seeded samplers for the
+// distributions the paper's workloads rely on (Poisson, geometric,
+// truncated normal, exponential).
+//
+// Everything here is deliberately plain: float64 slices and explicit loops,
+// no hidden allocation in the hot paths used by internal/nn.
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b. It panics if the lengths differ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mathx: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place. It panics if the lengths differ.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mathx: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Clone returns a copy of x.
+func Clone(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// Sum returns the sum of the elements of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// MaxIdx returns the index of the maximum element of x, or -1 for empty x.
+// Ties resolve to the earliest index.
+func MaxIdx(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(x); i++ {
+		if x[i] > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ClampInt limits v to the closed interval [lo, hi].
+func ClampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Sigmoid returns 1/(1+exp(-x)) computed without overflow for large |x|.
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+// LogSigmoid returns log(Sigmoid(x)) computed stably.
+func LogSigmoid(x float64) float64 {
+	if x >= 0 {
+		return -math.Log1p(math.Exp(-x))
+	}
+	return x - math.Log1p(math.Exp(x))
+}
+
+// Tanh is math.Tanh; re-exported so nn has a single numeric dependency.
+func Tanh(x float64) float64 { return math.Tanh(x) }
+
+// Logit is the inverse of Sigmoid. p is clamped away from {0,1} to keep the
+// result finite.
+func Logit(p float64) float64 {
+	const eps = 1e-12
+	p = Clamp(p, eps, 1-eps)
+	return math.Log(p / (1 - p))
+}

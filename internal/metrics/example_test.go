@@ -1,0 +1,27 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"eventhit/internal/dataset"
+	"eventhit/internal/metrics"
+	"eventhit/internal/video"
+)
+
+// ExampleREC scores a two-record test set exactly as §VI.C defines the
+// measures: REC over true positives, SPL over wasted frames.
+func ExampleREC() {
+	recs := []dataset.Record{
+		{Label: []bool{true}, OI: []video.Interval{{Start: 41, End: 60}}, Censored: []bool{false}},
+		{Label: []bool{false}, OI: make([]video.Interval, 1), Censored: []bool{false}},
+	}
+	preds := []metrics.Prediction{
+		{Occur: []bool{true}, OI: []video.Interval{{Start: 31, End: 70}}}, // covers fully, 20 excess
+		{Occur: []bool{false}, OI: make([]video.Interval, 1)},             // correct skip
+	}
+	rec, _ := metrics.REC(recs, preds)
+	spl, _ := metrics.SPL(recs, preds, 100)
+	fmt.Printf("REC=%.2f SPL=%.3f\n", rec, spl)
+	// Output:
+	// REC=1.00 SPL=0.125
+}

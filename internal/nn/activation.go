@@ -1,0 +1,42 @@
+package nn
+
+// ReLU is a rectified linear activation. It caches the sign pattern of its
+// last Forward input for Backward.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Params implements Layer (ReLU has none).
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward returns max(0, x) elementwise.
+func (r *ReLU) Forward(x []float64) []float64 {
+	if cap(r.mask) < len(x) {
+		r.mask = make([]bool, len(x))
+	}
+	r.mask = r.mask[:len(x)]
+	y := make([]float64, len(x))
+	for i, v := range x {
+		if v > 0 {
+			y[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return y
+}
+
+// Backward gates dy by the cached sign pattern. dy is modified in place and
+// returned.
+func (r *ReLU) Backward(dy []float64) []float64 {
+	for i := range dy {
+		if !r.mask[i] {
+			dy[i] = 0
+		}
+	}
+	return dy
+}

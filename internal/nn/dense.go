@@ -1,0 +1,78 @@
+package nn
+
+import (
+	"fmt"
+
+	"eventhit/internal/mathx"
+)
+
+// Dense is a fully connected layer computing y = W*x + b with W of shape
+// out x in (row-major).
+type Dense struct {
+	in, out int
+	w, b    *Param
+	x       []float64 // cached input from the last Forward
+	dx      []float64 // scratch for Backward
+}
+
+// NewDense returns a Dense layer with Xavier-initialized weights and zero
+// biases. name must be unique within a model (it prefixes the parameter
+// names used for serialization).
+func NewDense(name string, in, out int, g *mathx.RNG) *Dense {
+	d := &Dense{
+		in:  in,
+		out: out,
+		w:   NewParam(name+".w", in*out),
+		b:   NewParam(name+".b", out),
+		dx:  make([]float64, in),
+	}
+	XavierInit(d.w.W, in, out, g)
+	return d
+}
+
+// In returns the input width.
+func (d *Dense) In() int { return d.in }
+
+// Out returns the output width.
+func (d *Dense) Out() int { return d.out }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// Forward computes W*x + b and caches x for Backward.
+func (d *Dense) Forward(x []float64) []float64 {
+	if len(x) != d.in {
+		panic(fmt.Sprintf("nn: Dense %s input %d, want %d", d.w.Name, len(x), d.in))
+	}
+	d.x = x
+	y := make([]float64, d.out)
+	for o := 0; o < d.out; o++ {
+		row := d.w.W[o*d.in : (o+1)*d.in]
+		y[o] = mathx.Dot(row, x) + d.b.W[o]
+	}
+	return y
+}
+
+// Backward accumulates dL/dW and dL/db from dy (= dL/dy) and returns
+// dL/dx. The returned slice is reused across calls; copy it if it must
+// survive the next Backward.
+func (d *Dense) Backward(dy []float64) []float64 {
+	if len(dy) != d.out {
+		panic(fmt.Sprintf("nn: Dense %s grad %d, want %d", d.w.Name, len(dy), d.out))
+	}
+	mathx.Fill(d.dx, 0)
+	for o := 0; o < d.out; o++ {
+		g := dy[o]
+		if g == 0 {
+			continue
+		}
+		row := d.w.W[o*d.in : (o+1)*d.in]
+		grow := d.w.G[o*d.in : (o+1)*d.in]
+		for i, xi := range d.x {
+			grow[i] += g * xi
+			d.dx[i] += g * row[i]
+		}
+		d.b.G[o] += g
+	}
+	return d.dx
+}

@@ -1,0 +1,17 @@
+package nn
+
+import (
+	"math"
+
+	"eventhit/internal/mathx"
+)
+
+// XavierInit fills w (interpreted as a fanOut x fanIn matrix) with samples
+// from U(-sqrt(6/(fanIn+fanOut)), +sqrt(6/(fanIn+fanOut))), the Glorot
+// uniform scheme that keeps activation variance stable through depth.
+func XavierInit(w []float64, fanIn, fanOut int, g *mathx.RNG) {
+	limit := math.Sqrt(6 / float64(fanIn+fanOut))
+	for i := range w {
+		w[i] = (2*g.Float64() - 1) * limit
+	}
+}

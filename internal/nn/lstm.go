@@ -1,0 +1,165 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"eventhit/internal/mathx"
+)
+
+// LSTM is a single-layer long short-term memory encoder (Hochreiter &
+// Schmidhuber 1997), the temporal backbone of EventHit's shared sub-network
+// (§III). Forward consumes a whole sequence and returns the final hidden
+// state h_n; Backward runs truncated-nothing BPTT over the full cached
+// sequence given the gradient of the loss with respect to h_n.
+//
+// Gate pre-activations are stacked in the order input, forget, candidate,
+// output: a_t = Wx*x_t + Wh*h_{t-1} + b, with Wx of shape 4H x D and Wh of
+// shape 4H x H (row-major).
+type LSTM struct {
+	in, hidden int
+	wx, wh, b  *Param
+
+	// caches from the last Forward, one entry per timestep
+	xs         [][]float64
+	hs, cs     [][]float64 // hs[0]/cs[0] are the zero initial state
+	ig, fg, gg [][]float64 // post-activation gates
+	og         [][]float64
+}
+
+// NewLSTM returns an LSTM with Xavier-initialized input and recurrent
+// weights and forget-gate biases initialized to 1 (the usual trick that
+// keeps early gradients flowing).
+func NewLSTM(name string, in, hidden int, g *mathx.RNG) *LSTM {
+	l := &LSTM{
+		in:     in,
+		hidden: hidden,
+		wx:     NewParam(name+".wx", 4*hidden*in),
+		wh:     NewParam(name+".wh", 4*hidden*hidden),
+		b:      NewParam(name+".b", 4*hidden),
+	}
+	XavierInit(l.wx.W, in, hidden, g)
+	XavierInit(l.wh.W, hidden, hidden, g)
+	for h := 0; h < hidden; h++ {
+		l.b.W[hidden+h] = 1 // forget gate block
+	}
+	return l
+}
+
+// In returns the per-step input width D.
+func (l *LSTM) In() int { return l.in }
+
+// Hidden returns the hidden state width.
+func (l *LSTM) Hidden() int { return l.hidden }
+
+// Params implements Layer.
+func (l *LSTM) Params() []*Param { return []*Param{l.wx, l.wh, l.b} }
+
+// Forward processes the sequence xs (each element length D) and returns a
+// copy of the final hidden state h_n. The sequence must be non-empty.
+func (l *LSTM) Forward(xs [][]float64) []float64 {
+	if len(xs) == 0 {
+		panic("nn: LSTM forward on empty sequence")
+	}
+	H := l.hidden
+	T := len(xs)
+	l.xs = xs
+	l.hs = grow2d(l.hs, T+1, H)
+	l.cs = grow2d(l.cs, T+1, H)
+	l.ig = grow2d(l.ig, T, H)
+	l.fg = grow2d(l.fg, T, H)
+	l.gg = grow2d(l.gg, T, H)
+	l.og = grow2d(l.og, T, H)
+	mathx.Fill(l.hs[0], 0)
+	mathx.Fill(l.cs[0], 0)
+
+	a := make([]float64, 4*H)
+	for t := 0; t < T; t++ {
+		x := xs[t]
+		if len(x) != l.in {
+			panic(fmt.Sprintf("nn: LSTM %s input width %d, want %d", l.wx.Name, len(x), l.in))
+		}
+		hPrev, cPrev := l.hs[t], l.cs[t]
+		for j := 0; j < 4*H; j++ {
+			a[j] = mathx.Dot(l.wx.W[j*l.in:(j+1)*l.in], x) +
+				mathx.Dot(l.wh.W[j*H:(j+1)*H], hPrev) + l.b.W[j]
+		}
+		h, c := l.hs[t+1], l.cs[t+1]
+		for j := 0; j < H; j++ {
+			i := mathx.Sigmoid(a[j])
+			f := mathx.Sigmoid(a[H+j])
+			g := math.Tanh(a[2*H+j])
+			o := mathx.Sigmoid(a[3*H+j])
+			l.ig[t][j], l.fg[t][j], l.gg[t][j], l.og[t][j] = i, f, g, o
+			c[j] = f*cPrev[j] + i*g
+			h[j] = o * math.Tanh(c[j])
+		}
+	}
+	return mathx.Clone(l.hs[T])
+}
+
+// Backward runs backpropagation through time given dh, the gradient of the
+// loss with respect to the final hidden state, accumulating parameter
+// gradients. It returns per-step input gradients (reused across calls).
+func (l *LSTM) Backward(dh []float64) [][]float64 {
+	H := l.hidden
+	if len(dh) != H {
+		panic(fmt.Sprintf("nn: LSTM %s grad width %d, want %d", l.wx.Name, len(dh), H))
+	}
+	T := len(l.xs)
+	dxs := make([][]float64, T)
+	dhCur := mathx.Clone(dh)
+	dc := make([]float64, H)
+	da := make([]float64, 4*H)
+	dhPrev := make([]float64, H)
+	for t := T - 1; t >= 0; t-- {
+		x, hPrev, cPrev, c := l.xs[t], l.hs[t], l.cs[t], l.cs[t+1]
+		for j := 0; j < H; j++ {
+			i, f, g, o := l.ig[t][j], l.fg[t][j], l.gg[t][j], l.og[t][j]
+			tc := math.Tanh(c[j])
+			dcj := dc[j] + dhCur[j]*o*(1-tc*tc)
+			da[j] = dcj * g * i * (1 - i)          // input gate
+			da[H+j] = dcj * cPrev[j] * f * (1 - f) // forget gate
+			da[2*H+j] = dcj * i * (1 - g*g)        // candidate
+			da[3*H+j] = dhCur[j] * tc * o * (1 - o)
+			dc[j] = dcj * f
+		}
+		dx := make([]float64, l.in)
+		mathx.Fill(dhPrev, 0)
+		for j := 0; j < 4*H; j++ {
+			g := da[j]
+			if g == 0 {
+				continue
+			}
+			wxRow := l.wx.W[j*l.in : (j+1)*l.in]
+			gxRow := l.wx.G[j*l.in : (j+1)*l.in]
+			for k, xv := range x {
+				gxRow[k] += g * xv
+				dx[k] += g * wxRow[k]
+			}
+			whRow := l.wh.W[j*H : (j+1)*H]
+			ghRow := l.wh.G[j*H : (j+1)*H]
+			for k, hv := range hPrev {
+				ghRow[k] += g * hv
+				dhPrev[k] += g * whRow[k]
+			}
+			l.b.G[j] += g
+		}
+		dxs[t] = dx
+		copy(dhCur, dhPrev)
+	}
+	return dxs
+}
+
+// grow2d reuses buf if it is large enough, otherwise allocates rows x cols.
+func grow2d(buf [][]float64, rows, cols int) [][]float64 {
+	if len(buf) >= rows && len(buf[0]) == cols {
+		return buf[:rows]
+	}
+	out := make([][]float64, rows)
+	flat := make([]float64, rows*cols)
+	for i := range out {
+		out[i], flat = flat[:cols], flat[cols:]
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+// Package nn is a small, dependency-free neural network library: dense and
+// LSTM layers with hand-written backpropagation, inverted dropout, a fused
+// sigmoid + binary-cross-entropy loss, Xavier initialization, SGD and Adam
+// optimizers, numerical gradient checking, and gob serialization.
+//
+// The package works on one sample at a time: each layer caches whatever its
+// last Forward needs for the matching Backward, and gradients accumulate
+// into Param.G until an optimizer step consumes them. That per-sample,
+// accumulate-then-step design is all EventHit's training loop (§III of the
+// paper) requires, and it keeps every layer a few dozen lines of plain Go.
+package nn
+
+import "fmt"
+
+// Param is a learnable tensor stored flat, together with its accumulated
+// gradient. Layers expose their Params so optimizers and serializers can
+// treat every model uniformly.
+type Param struct {
+	Name string
+	W    []float64 // weights, row-major where 2-D
+	G    []float64 // accumulated gradient, same shape as W
+}
+
+// NewParam allocates a zeroed parameter of n weights.
+func NewParam(name string, n int) *Param {
+	return &Param{Name: name, W: make([]float64, n), G: make([]float64, n)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// Layer is the interface shared by every trainable component.
+type Layer interface {
+	// Params returns the learnable parameters (possibly none).
+	Params() []*Param
+}
+
+// ZeroGrads clears the gradients of every parameter in ps.
+func ZeroGrads(ps []*Param) {
+	for _, p := range ps {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams returns the total number of scalar weights in ps.
+func NumParams(ps []*Param) int {
+	n := 0
+	for _, p := range ps {
+		n += len(p.W)
+	}
+	return n
+}
+
+// CollectParams concatenates the parameters of several layers, checking for
+// duplicate names (which would break serialization).
+func CollectParams(layers ...Layer) []*Param {
+	var out []*Param
+	seen := make(map[string]bool)
+	for _, l := range layers {
+		for _, p := range l.Params() {
+			if seen[p.Name] {
+				panic(fmt.Sprintf("nn: duplicate parameter name %q", p.Name))
+			}
+			seen[p.Name] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}

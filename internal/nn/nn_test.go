@@ -1,0 +1,571 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"eventhit/internal/mathx"
+)
+
+func TestParamZeroGrad(t *testing.T) {
+	p := NewParam("p", 3)
+	p.G[0], p.G[2] = 1, -2
+	p.ZeroGrad()
+	for _, g := range p.G {
+		if g != 0 {
+			t.Fatal("ZeroGrad left residue")
+		}
+	}
+}
+
+func TestCollectParamsDetectsDuplicates(t *testing.T) {
+	g := mathx.NewRNG(1)
+	a := NewDense("same", 2, 2, g)
+	b := NewDense("same", 2, 2, g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate parameter names")
+		}
+	}()
+	CollectParams(a, b)
+}
+
+func TestNumParams(t *testing.T) {
+	g := mathx.NewRNG(1)
+	d := NewDense("d", 3, 4, g)
+	if n := NumParams(d.Params()); n != 3*4+4 {
+		t.Fatalf("NumParams = %d, want 16", n)
+	}
+}
+
+func TestDenseForwardKnownValues(t *testing.T) {
+	g := mathx.NewRNG(1)
+	d := NewDense("d", 2, 2, g)
+	copy(d.w.W, []float64{1, 2, 3, 4}) // rows: [1 2], [3 4]
+	copy(d.b.W, []float64{10, 20})
+	y := d.Forward([]float64{1, 1})
+	if y[0] != 13 || y[1] != 27 {
+		t.Fatalf("Forward = %v, want [13 27]", y)
+	}
+}
+
+func TestDenseGradCheck(t *testing.T) {
+	g := mathx.NewRNG(2)
+	d := NewDense("d", 4, 3, g)
+	x := []float64{0.5, -1, 2, 0.1}
+	y := []float64{1, 0, 1}
+	dz := make([]float64, 3)
+	loss := func() float64 {
+		z := d.Forward(x)
+		return BCEWithLogits(z, y, nil, dz)
+	}
+	backward := func() {
+		z := d.Forward(x)
+		BCEWithLogits(z, y, nil, dz)
+		d.Backward(dz)
+	}
+	worst, err := CheckGradients(loss, backward, d.Params(), 1e-5, 1e-5)
+	if err != nil {
+		t.Fatalf("worst=%g: %v", worst, err)
+	}
+}
+
+func TestDenseBackwardInputGrad(t *testing.T) {
+	// Check dL/dx numerically.
+	g := mathx.NewRNG(3)
+	d := NewDense("d", 3, 2, g)
+	x := []float64{0.3, -0.7, 1.2}
+	y := []float64{1, 0}
+	dz := make([]float64, 2)
+	lossAt := func(xv []float64) float64 {
+		z := d.Forward(xv)
+		return BCEWithLogits(z, y, nil, dz)
+	}
+	lossAt(x)
+	z := d.Forward(x)
+	BCEWithLogits(z, y, nil, dz)
+	dx := mathx.Clone(d.Backward(dz))
+	const eps = 1e-6
+	for i := range x {
+		xp := mathx.Clone(x)
+		xm := mathx.Clone(x)
+		xp[i] += eps
+		xm[i] -= eps
+		gn := (lossAt(xp) - lossAt(xm)) / (2 * eps)
+		if math.Abs(gn-dx[i]) > 1e-5 {
+			t.Errorf("dx[%d]: analytic=%g numeric=%g", i, dx[i], gn)
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	r := NewReLU()
+	y := r.Forward([]float64{-1, 0, 2})
+	if y[0] != 0 || y[1] != 0 || y[2] != 2 {
+		t.Fatalf("ReLU forward = %v", y)
+	}
+	dy := r.Backward([]float64{5, 5, 5})
+	if dy[0] != 0 || dy[1] != 0 || dy[2] != 5 {
+		t.Fatalf("ReLU backward = %v", dy)
+	}
+}
+
+func TestDropoutInference(t *testing.T) {
+	d := NewDropout(0.5, mathx.NewRNG(1))
+	x := []float64{1, 2, 3}
+	y := d.Forward(x)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatal("dropout must be identity outside training")
+		}
+	}
+}
+
+func TestDropoutTrainingPreservesExpectation(t *testing.T) {
+	d := NewDropout(0.3, mathx.NewRNG(7))
+	d.SetTraining(true)
+	x := []float64{1}
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += d.Forward(x)[0]
+	}
+	if mean := sum / float64(n); math.Abs(mean-1) > 0.03 {
+		t.Fatalf("inverted dropout mean = %v, want ~1", mean)
+	}
+}
+
+func TestDropoutBackwardMatchesMask(t *testing.T) {
+	d := NewDropout(0.5, mathx.NewRNG(9))
+	d.SetTraining(true)
+	x := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	y := d.Forward(x)
+	dy := make([]float64, len(x))
+	for i := range dy {
+		dy[i] = 1
+	}
+	dx := d.Backward(dy)
+	for i := range x {
+		if (y[i] == 0) != (dx[i] == 0) {
+			t.Fatalf("mask mismatch at %d: y=%v dx=%v", i, y[i], dx[i])
+		}
+	}
+}
+
+func TestDropoutRejectsBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p=1")
+		}
+	}()
+	NewDropout(1, mathx.NewRNG(1))
+}
+
+func TestLSTMGradCheck(t *testing.T) {
+	g := mathx.NewRNG(4)
+	l := NewLSTM("l", 3, 4, g)
+	head := NewDense("head", 4, 2, g)
+	seq := make([][]float64, 5)
+	for t_ := range seq {
+		seq[t_] = []float64{g.Normal(0, 1), g.Normal(0, 1), g.Normal(0, 1)}
+	}
+	y := []float64{1, 0}
+	dz := make([]float64, 2)
+	params := CollectParams(l, head)
+	loss := func() float64 {
+		h := l.Forward(seq)
+		z := head.Forward(h)
+		return BCEWithLogits(z, y, nil, dz)
+	}
+	backward := func() {
+		h := l.Forward(seq)
+		z := head.Forward(h)
+		BCEWithLogits(z, y, nil, dz)
+		dh := head.Backward(dz)
+		l.Backward(dh)
+	}
+	worst, err := CheckGradients(loss, backward, params, 1e-5, 2e-4)
+	if err != nil {
+		t.Fatalf("worst=%g: %v", worst, err)
+	}
+	t.Logf("LSTM gradcheck worst relative error: %g", worst)
+}
+
+func TestLSTMDeterministicGivenWeights(t *testing.T) {
+	g := mathx.NewRNG(5)
+	l := NewLSTM("l", 2, 3, g)
+	seq := [][]float64{{1, 2}, {3, 4}}
+	h1 := l.Forward(seq)
+	h2 := l.Forward(seq)
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatal("LSTM forward is not deterministic")
+		}
+	}
+}
+
+func TestLSTMForwardEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty sequence")
+		}
+	}()
+	NewLSTM("l", 2, 2, mathx.NewRNG(1)).Forward(nil)
+}
+
+func TestLSTMHiddenBounded(t *testing.T) {
+	// h = o*tanh(c) with o in (0,1) and |tanh| < 1, so |h| < 1 always.
+	g := mathx.NewRNG(6)
+	l := NewLSTM("l", 2, 4, g)
+	seq := make([][]float64, 50)
+	for i := range seq {
+		seq[i] = []float64{g.Normal(0, 10), g.Normal(0, 10)}
+	}
+	h := l.Forward(seq)
+	for _, v := range h {
+		if math.Abs(v) >= 1 {
+			t.Fatalf("hidden state out of (-1,1): %v", v)
+		}
+	}
+}
+
+func TestBCEWithLogitsKnownValue(t *testing.T) {
+	dz := make([]float64, 1)
+	loss := BCEWithLogits([]float64{0}, []float64{1}, nil, dz)
+	if math.Abs(loss-math.Log(2)) > 1e-12 {
+		t.Fatalf("loss = %v, want ln2", loss)
+	}
+	if math.Abs(dz[0]-(0.5-1)) > 1e-12 {
+		t.Fatalf("dz = %v, want -0.5", dz[0])
+	}
+}
+
+func TestBCEWithLogitsWeights(t *testing.T) {
+	dz := make([]float64, 2)
+	l1 := BCEWithLogits([]float64{1, -1}, []float64{1, 0}, []float64{2, 2}, dz)
+	dzRef := make([]float64, 2)
+	l2 := BCEWithLogits([]float64{1, -1}, []float64{1, 0}, nil, dzRef)
+	if math.Abs(l1-2*l2) > 1e-12 {
+		t.Fatalf("weighted loss %v != 2 * unweighted %v", l1, l2)
+	}
+	for i := range dz {
+		if math.Abs(dz[i]-2*dzRef[i]) > 1e-12 {
+			t.Fatal("weighted gradient mismatch")
+		}
+	}
+}
+
+func TestBCEWithLogitsStableAtExtremes(t *testing.T) {
+	dz := make([]float64, 2)
+	loss := BCEWithLogits([]float64{1000, -1000}, []float64{1, 0}, nil, dz)
+	if math.IsNaN(loss) || math.IsInf(loss, 0) || loss > 1e-6 {
+		t.Fatalf("extreme-logit loss = %v", loss)
+	}
+	loss = BCEWithLogits([]float64{-1000, 1000}, []float64{1, 0}, nil, dz)
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("mismatched extreme-logit loss = %v", loss)
+	}
+}
+
+func TestSGDStepDirection(t *testing.T) {
+	p := NewParam("p", 1)
+	p.W[0] = 1
+	p.G[0] = 0.5
+	NewSGD([]*Param{p}, 0.1, 0).Step()
+	if math.Abs(p.W[0]-0.95) > 1e-12 {
+		t.Fatalf("W = %v, want 0.95", p.W[0])
+	}
+	if p.G[0] != 0 {
+		t.Fatal("Step must clear gradients")
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize (w-3)^2 from w=0.
+	p := NewParam("p", 1)
+	opt := NewAdam([]*Param{p}, 0.1)
+	for i := 0; i < 500; i++ {
+		p.G[0] = 2 * (p.W[0] - 3)
+		opt.Step()
+	}
+	if math.Abs(p.W[0]-3) > 1e-2 {
+		t.Fatalf("Adam did not converge: w = %v", p.W[0])
+	}
+}
+
+func TestAdamGradClip(t *testing.T) {
+	p := NewParam("p", 1)
+	opt := NewAdam([]*Param{p}, 0.001)
+	opt.SetGradClip(1)
+	p.G[0] = 1e9
+	opt.Step()
+	// With clip the first update magnitude is ~lr (bias-corrected m/sqrt(v)=1).
+	if math.Abs(p.W[0]) > 0.0011 {
+		t.Fatalf("clipped step too large: %v", p.W[0])
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := mathx.NewRNG(8)
+	d1 := NewDense("d", 3, 2, g)
+	l1 := NewLSTM("l", 3, 2, g)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, CollectParams(d1, l1)); err != nil {
+		t.Fatal(err)
+	}
+	d2 := NewDense("d", 3, 2, mathx.NewRNG(99))
+	l2 := NewLSTM("l", 3, 2, mathx.NewRNG(99))
+	if err := LoadParams(&buf, CollectParams(d2, l2)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1.w.W {
+		if d1.w.W[i] != d2.w.W[i] {
+			t.Fatal("dense weights did not round-trip")
+		}
+	}
+	for i := range l1.wx.W {
+		if l1.wx.W[i] != l2.wx.W[i] {
+			t.Fatal("lstm weights did not round-trip")
+		}
+	}
+}
+
+func TestLoadParamsMissingParam(t *testing.T) {
+	g := mathx.NewRNG(8)
+	d := NewDense("d", 2, 2, g)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, d.Params()); err != nil {
+		t.Fatal(err)
+	}
+	other := NewDense("other", 2, 2, g)
+	if err := LoadParams(&buf, other.Params()); err == nil {
+		t.Fatal("expected error for missing parameter name")
+	}
+}
+
+func TestLoadParamsSizeMismatch(t *testing.T) {
+	g := mathx.NewRNG(8)
+	d := NewDense("d", 2, 2, g)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, d.Params()); err != nil {
+		t.Fatal(err)
+	}
+	bigger := NewDense("d", 3, 3, g)
+	if err := LoadParams(&buf, bigger.Params()); err == nil {
+		t.Fatal("expected error for size mismatch")
+	}
+}
+
+func TestXavierInitRange(t *testing.T) {
+	g := mathx.NewRNG(10)
+	w := make([]float64, 1000)
+	XavierInit(w, 10, 10, g)
+	limit := math.Sqrt(6.0 / 20)
+	for _, v := range w {
+		if math.Abs(v) > limit {
+			t.Fatalf("weight %v exceeds Xavier limit %v", v, limit)
+		}
+	}
+	if mathx.Std(w) < limit/4 {
+		t.Fatal("weights suspiciously concentrated")
+	}
+}
+
+func TestGRUGradCheck(t *testing.T) {
+	g := mathx.NewRNG(20)
+	u := NewGRU("g", 3, 4, g)
+	head := NewDense("ghead", 4, 2, g)
+	seq := make([][]float64, 5)
+	for i := range seq {
+		seq[i] = []float64{g.Normal(0, 1), g.Normal(0, 1), g.Normal(0, 1)}
+	}
+	y := []float64{1, 0}
+	dz := make([]float64, 2)
+	params := CollectParams(u, head)
+	loss := func() float64 {
+		h := u.Forward(seq)
+		z := head.Forward(h)
+		return BCEWithLogits(z, y, nil, dz)
+	}
+	backward := func() {
+		h := u.Forward(seq)
+		z := head.Forward(h)
+		BCEWithLogits(z, y, nil, dz)
+		dh := head.Backward(dz)
+		u.Backward(dh)
+	}
+	worst, err := CheckGradients(loss, backward, params, 1e-5, 2e-4)
+	if err != nil {
+		t.Fatalf("worst=%g: %v", worst, err)
+	}
+	t.Logf("GRU gradcheck worst relative error: %g", worst)
+}
+
+func TestGRUForwardShapes(t *testing.T) {
+	g := mathx.NewRNG(21)
+	u := NewGRU("g", 2, 3, g)
+	if u.In() != 2 || u.Hidden() != 3 {
+		t.Fatal("dims")
+	}
+	h := u.Forward([][]float64{{1, 2}, {3, 4}})
+	if len(h) != 3 {
+		t.Fatalf("hidden len %d", len(h))
+	}
+	for _, v := range h {
+		if math.Abs(v) >= 1 {
+			t.Fatalf("GRU hidden out of (-1,1): %v", v)
+		}
+	}
+}
+
+func TestGRUEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGRU("g", 2, 2, mathx.NewRNG(1)).Forward(nil)
+}
+
+func TestGRUSaveLoad(t *testing.T) {
+	g := mathx.NewRNG(22)
+	u1 := NewGRU("g", 2, 3, g)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, u1.Params()); err != nil {
+		t.Fatal(err)
+	}
+	u2 := NewGRU("g", 2, 3, mathx.NewRNG(99))
+	if err := LoadParams(&buf, u2.Params()); err != nil {
+		t.Fatal(err)
+	}
+	seq := [][]float64{{0.5, -0.5}, {1, 1}}
+	a, b := u1.Forward(seq), u2.Forward(seq)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("GRU weights did not round-trip")
+		}
+	}
+}
+
+func TestSchedules(t *testing.T) {
+	if ConstantLR(0.1).LR(99) != 0.1 {
+		t.Fatal("ConstantLR")
+	}
+	s := StepLR{Base: 1, StepSize: 10, Gamma: 0.5}
+	if s.LR(0) != 1 || s.LR(9) != 1 || s.LR(10) != 0.5 || s.LR(25) != 0.25 {
+		t.Fatalf("StepLR: %v %v %v %v", s.LR(0), s.LR(9), s.LR(10), s.LR(25))
+	}
+	if (StepLR{Base: 2}).LR(5) != 2 {
+		t.Fatal("StepLR zero StepSize must hold base")
+	}
+	c := CosineLR{Base: 1, Min: 0.1, Span: 10}
+	if c.LR(0) != 1 {
+		t.Fatalf("cosine start %v", c.LR(0))
+	}
+	if math.Abs(c.LR(5)-0.55) > 1e-12 {
+		t.Fatalf("cosine midpoint %v", c.LR(5))
+	}
+	if c.LR(10) != 0.1 || c.LR(100) != 0.1 {
+		t.Fatal("cosine tail")
+	}
+	prev := math.Inf(1)
+	for e := 0; e <= 10; e++ {
+		if c.LR(e) > prev {
+			t.Fatal("cosine not monotone")
+		}
+		prev = c.LR(e)
+	}
+	w := WarmupLR{Warmup: 4, Inner: ConstantLR(1)}
+	if w.LR(0) >= w.LR(1) || w.LR(3) >= 1 || w.LR(4) != 1 || w.LR(9) != 1 {
+		t.Fatalf("warmup: %v %v %v %v", w.LR(0), w.LR(3), w.LR(4), w.LR(9))
+	}
+}
+
+func TestAdamWeightDecayShrinksWeights(t *testing.T) {
+	p := NewParam("p", 1)
+	p.W[0] = 10
+	opt := NewAdam([]*Param{p}, 0.01)
+	opt.SetWeightDecay(0.1)
+	for i := 0; i < 100; i++ {
+		p.G[0] = 0 // no task gradient: decay alone must shrink the weight
+		opt.Step()
+	}
+	if math.Abs(p.W[0]) >= 10 {
+		t.Fatalf("weight decay had no effect: %v", p.W[0])
+	}
+}
+
+func TestSGDMomentumAccelerates(t *testing.T) {
+	// With a constant gradient, momentum accumulates larger steps than
+	// plain SGD.
+	plain := NewParam("a", 1)
+	mom := NewParam("b", 1)
+	so := NewSGD([]*Param{plain}, 0.1, 0)
+	mo := NewSGD([]*Param{mom}, 0.1, 0.9)
+	for i := 0; i < 10; i++ {
+		plain.G[0], mom.G[0] = 1, 1
+		so.Step()
+		mo.Step()
+	}
+	if math.Abs(mom.W[0]) <= math.Abs(plain.W[0]) {
+		t.Fatalf("momentum did not accelerate: %v vs %v", mom.W[0], plain.W[0])
+	}
+}
+
+func TestConv1DGradCheck(t *testing.T) {
+	g := mathx.NewRNG(23)
+	c := NewConv1D("c", 3, 4, 3, g)
+	head := NewDense("chead", 4, 2, g)
+	seq := make([][]float64, 6)
+	for i := range seq {
+		seq[i] = []float64{g.Normal(0, 1), g.Normal(0, 1), g.Normal(0, 1)}
+	}
+	y := []float64{1, 0}
+	dz := make([]float64, 2)
+	params := CollectParams(c, head)
+	loss := func() float64 {
+		h := c.Forward(seq)
+		z := head.Forward(h)
+		return BCEWithLogits(z, y, nil, dz)
+	}
+	backward := func() {
+		h := c.Forward(seq)
+		z := head.Forward(h)
+		BCEWithLogits(z, y, nil, dz)
+		dh := head.Backward(dz)
+		c.Backward(dh)
+	}
+	worst, err := CheckGradients(loss, backward, params, 1e-5, 5e-4)
+	if err != nil {
+		t.Fatalf("worst=%g: %v", worst, err)
+	}
+	t.Logf("Conv1D gradcheck worst relative error: %g", worst)
+}
+
+func TestConv1DValidation(t *testing.T) {
+	g := mathx.NewRNG(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for even kernel")
+		}
+	}()
+	NewConv1D("c", 2, 2, 4, g)
+}
+
+func TestConv1DShapes(t *testing.T) {
+	g := mathx.NewRNG(2)
+	c := NewConv1D("c", 2, 3, 3, g)
+	if c.In() != 2 || c.Out() != 3 {
+		t.Fatal("dims")
+	}
+	y := c.Forward([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	if len(y) != 3 {
+		t.Fatalf("output len %d", len(y))
+	}
+	for _, v := range y {
+		if v < 0 {
+			t.Fatalf("ReLU-pooled output must be non-negative: %v", v)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package nn
+
+import "math"
+
+// Schedule maps an epoch index (0-based) to a learning rate.
+type Schedule interface {
+	LR(epoch int) float64
+}
+
+// ConstantLR is the trivial schedule.
+type ConstantLR float64
+
+// LR implements Schedule.
+func (c ConstantLR) LR(int) float64 { return float64(c) }
+
+// StepLR multiplies the base rate by Gamma every StepSize epochs.
+type StepLR struct {
+	Base     float64
+	StepSize int
+	Gamma    float64
+}
+
+// LR implements Schedule.
+func (s StepLR) LR(epoch int) float64 {
+	if s.StepSize <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Gamma, float64(epoch/s.StepSize))
+}
+
+// CosineLR anneals from Base to Min over Span epochs, then holds Min.
+type CosineLR struct {
+	Base float64
+	Min  float64
+	Span int
+}
+
+// LR implements Schedule.
+func (c CosineLR) LR(epoch int) float64 {
+	if c.Span <= 0 || epoch >= c.Span {
+		return c.Min
+	}
+	f := float64(epoch) / float64(c.Span)
+	return c.Min + (c.Base-c.Min)*0.5*(1+math.Cos(math.Pi*f))
+}
+
+// WarmupLR ramps linearly from 0 to the inner schedule's rate over Warmup
+// epochs, then delegates.
+type WarmupLR struct {
+	Warmup int
+	Inner  Schedule
+}
+
+// LR implements Schedule.
+func (w WarmupLR) LR(epoch int) float64 {
+	base := w.Inner.LR(epoch)
+	if w.Warmup <= 0 || epoch >= w.Warmup {
+		return base
+	}
+	return base * float64(epoch+1) / float64(w.Warmup+1)
+}

@@ -1,0 +1,58 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the on-disk form: parameter name -> weights.
+type snapshot struct {
+	Weights map[string][]float64
+}
+
+// SaveParams writes the weights of params to w in gob format.
+func SaveParams(w io.Writer, params []*Param) error {
+	s := snapshot{Weights: make(map[string][]float64, len(params))}
+	for _, p := range params {
+		if _, dup := s.Weights[p.Name]; dup {
+			return fmt.Errorf("nn: duplicate parameter name %q", p.Name)
+		}
+		s.Weights[p.Name] = p.W
+	}
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// LoadParams reads weights written by SaveParams into params, matching by
+// name. Every parameter must be present with an identical length. When
+// reading several gob streams from one reader (as core.Load does), pass a
+// reader implementing io.ByteReader.
+func LoadParams(r io.Reader, params []*Param) error {
+	var s snapshot
+	if err := gob.NewDecoder(byteReader(r)).Decode(&s); err != nil {
+		return fmt.Errorf("nn: decode params: %w", err)
+	}
+	for _, p := range params {
+		w, ok := s.Weights[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: snapshot missing parameter %q", p.Name)
+		}
+		if len(w) != len(p.W) {
+			return fmt.Errorf("nn: parameter %q has %d weights, snapshot has %d",
+				p.Name, len(p.W), len(w))
+		}
+		copy(p.W, w)
+	}
+	return nil
+}
+
+// byteReader normalizes r so that consecutive gob streams can be decoded
+// from the same underlying reader: gob.Decoder wraps non-ByteReaders in
+// its own buffer and over-reads past the first stream.
+func byteReader(r io.Reader) io.Reader {
+	if _, ok := r.(io.ByteReader); ok {
+		return r
+	}
+	return bufio.NewReader(r)
+}

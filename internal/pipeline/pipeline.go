@@ -1,0 +1,207 @@
+// Package pipeline runs the end-to-end marshalling loop of Figure 1: a
+// video stream advances one time horizon at a time; for each horizon the
+// filter strategy extracts whatever frames it needs (the collection window
+// for EventHit and Cox, every horizon frame for VQS, a very large history
+// window for APP-VAE), predicts the occurrence intervals, and relays only
+// the predicted frame ranges to the simulated CI. The pipeline accounts
+// simulated wall-clock per stage using the per-stage throughputs the paper
+// reports (§VI.H: lightweight detectors ≈ 100 fps, EventHit inference sub-
+// millisecond-to-milliseconds, CI event models ≈ 25 fps), which yields the
+// end-to-end FPS of Figure 9 and the stage shares of Figure 10.
+package pipeline
+
+import (
+	"fmt"
+
+	"eventhit/internal/cloud"
+	"eventhit/internal/dataset"
+	"eventhit/internal/metrics"
+	"eventhit/internal/strategy"
+	"eventhit/internal/video"
+)
+
+// ScanProfile describes what the filter stage consumes per horizon: how
+// many frames it must run its frame-level model on and at what cost.
+type ScanProfile struct {
+	// FramesPerHorizon is the number of frames scanned per horizon (M for
+	// EventHit/Cox, H for VQS, the history window for APP-VAE).
+	FramesPerHorizon int
+	// PerFrameMS is the scan model's per-frame inference time.
+	PerFrameMS float64
+}
+
+// Costs bundles the per-stage cost model.
+type Costs struct {
+	// Scan is the filter's frame-scanning profile.
+	Scan ScanProfile
+	// PredictMS is the per-horizon cost of the predictor itself (EventHit
+	// forward pass, Cox scan, ...).
+	PredictMS float64
+	// CIRetries is the number of times a failed CI request is retried
+	// before the run aborts (transient cloud outages); 0 means no retries.
+	CIRetries int
+}
+
+// FeatureMSDefault is the per-frame cost of the YOLO-class detector used
+// for covariate extraction (~100 fps).
+const FeatureMSDefault = 10.0
+
+// SpecializedMSDefault is the per-frame cost of a BlazeIt-style
+// specialized filter network (very cheap).
+const SpecializedMSDefault = 4.0
+
+// ActionDetMSDefault is the per-frame cost of an action-detection model
+// (~25 fps), what APP-VAE's feature extraction needs (§VI.D footnote).
+const ActionDetMSDefault = 40.0
+
+// EventHitCosts returns the cost profile of the EventHit variants and Cox:
+// scan the M-frame collection window with the lightweight detector.
+func EventHitCosts(window int) Costs {
+	return Costs{
+		Scan:      ScanProfile{FramesPerHorizon: window, PerFrameMS: FeatureMSDefault},
+		PredictMS: 2,
+	}
+}
+
+// VQSCosts returns the cost profile of VQS: the specialized model scans
+// every horizon frame.
+func VQSCosts(horizon int) Costs {
+	return Costs{
+		Scan:      ScanProfile{FramesPerHorizon: horizon, PerFrameMS: SpecializedMSDefault},
+		PredictMS: 1,
+	}
+}
+
+// AppVAECosts returns the cost profile of APP-VAE with history window m:
+// action-unit detection over the whole window (§VI.D: ~7 s at M=200, ~1
+// min at M=1500), plus ~100 ms for the encoder/generator.
+func AppVAECosts(window int) Costs {
+	return Costs{
+		Scan:      ScanProfile{FramesPerHorizon: window, PerFrameMS: ActionDetMSDefault},
+		PredictMS: 100,
+	}
+}
+
+// Report summarizes one marshalling run.
+type Report struct {
+	// Horizons is the number of prediction steps taken.
+	Horizons int
+	// Frames is the number of stream frames covered (Horizons * H).
+	Frames int
+	// ScanMS, PredictMS and CIMS are the simulated per-stage times.
+	ScanMS, PredictMS, CIMS float64
+	// CIFrames is the number of frames relayed to the CI.
+	CIFrames int64
+	// SpentUSD is the CI bill.
+	SpentUSD float64
+	// Detections is the number of true event segments the CI returned.
+	Detections int
+	// CIRetried counts CI requests that failed at least once and were
+	// retried successfully.
+	CIRetried int
+}
+
+// TotalMS returns the simulated end-to-end processing time.
+func (r Report) TotalMS() float64 { return r.ScanMS + r.PredictMS + r.CIMS }
+
+// FPS returns the simulated end-to-end throughput in frames per second.
+func (r Report) FPS() float64 {
+	t := r.TotalMS()
+	if t == 0 {
+		return 0
+	}
+	return float64(r.Frames) / (t / 1000)
+}
+
+// StageShares returns each stage's fraction of the total time
+// (scan, predict, CI) — the quantities of Figure 10.
+func (r Report) StageShares() (scan, predict, ci float64) {
+	t := r.TotalMS()
+	if t == 0 {
+		return 0, 0, 0
+	}
+	return r.ScanMS / t, r.PredictMS / t, r.CIMS / t
+}
+
+// Marshaller drives one strategy over a stream region.
+type Marshaller struct {
+	ex    dataset.Source
+	strat strategy.Strategy
+	ci    *cloud.Service
+	cfg   dataset.Config
+	costs Costs
+}
+
+// New assembles a marshaller.
+func New(ex dataset.Source, s strategy.Strategy, ci *cloud.Service, cfg dataset.Config, costs Costs) (*Marshaller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if costs.Scan.FramesPerHorizon < 0 || costs.Scan.PerFrameMS < 0 || costs.PredictMS < 0 {
+		return nil, fmt.Errorf("pipeline: negative costs %+v", costs)
+	}
+	return &Marshaller{ex: ex, strat: s, ci: ci, cfg: cfg, costs: costs}, nil
+}
+
+// detectWithRetry calls the CI, retrying transient failures up to
+// Costs.CIRetries times.
+func (m *Marshaller) detectWithRetry(eventType int, win video.Interval) (cloud.Detection, bool, error) {
+	var lastErr error
+	for attempt := 0; attempt <= m.costs.CIRetries; attempt++ {
+		det, err := m.ci.Detect(eventType, win)
+		if err == nil {
+			return det, attempt > 0, nil
+		}
+		lastErr = err
+	}
+	return cloud.Detection{}, false, fmt.Errorf("pipeline: CI failed after %d attempts: %w",
+		m.costs.CIRetries+1, lastErr)
+}
+
+// Run marshals the stream from the first admissible anchor at or after
+// start until the horizon would pass end, advancing one horizon per step.
+// It returns the run report plus the per-horizon records and predictions
+// so callers can score accuracy with the metrics package.
+func (m *Marshaller) Run(start, end int) (Report, []dataset.Record, []metrics.Prediction, error) {
+	if start < m.cfg.Window-1 {
+		start = m.cfg.Window - 1
+	}
+	if end > m.ex.Stream().N-1 {
+		end = m.ex.Stream().N - 1
+	}
+	var rep Report
+	var recs []dataset.Record
+	var preds []metrics.Prediction
+	for t := start; t+m.cfg.Horizon <= end; t += m.cfg.Horizon {
+		rec, err := dataset.BuildRecord(m.ex, t, m.cfg)
+		if err != nil {
+			return Report{}, nil, nil, fmt.Errorf("pipeline: anchor %d: %w", t, err)
+		}
+		pred := m.strat.Predict(rec)
+		rep.Horizons++
+		rep.ScanMS += float64(m.costs.Scan.FramesPerHorizon) * m.costs.Scan.PerFrameMS
+		rep.PredictMS += m.costs.PredictMS
+		for k, occ := range pred.Occur {
+			if !occ {
+				continue
+			}
+			abs := video.Interval{Start: t + pred.OI[k].Start, End: t + pred.OI[k].End}
+			det, retried, err := m.detectWithRetry(m.ex.Events()[k], abs)
+			if err != nil {
+				return Report{}, nil, nil, fmt.Errorf("pipeline: CI call: %w", err)
+			}
+			if retried {
+				rep.CIRetried++
+			}
+			rep.Detections += len(det.Found)
+		}
+		recs = append(recs, rec)
+		preds = append(preds, pred)
+	}
+	u := m.ci.Usage()
+	rep.Frames = rep.Horizons * m.cfg.Horizon
+	rep.CIFrames = u.Frames
+	rep.CIMS = u.BusyMS
+	rep.SpentUSD = u.SpentUSD
+	return rep, recs, preds, nil
+}

@@ -1,0 +1,201 @@
+package pipeline
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"eventhit/internal/cloud"
+	"eventhit/internal/dataset"
+	"eventhit/internal/features"
+	"eventhit/internal/mathx"
+	"eventhit/internal/metrics"
+	"eventhit/internal/strategy"
+	"eventhit/internal/video"
+)
+
+func setup(t *testing.T) (*features.Extractor, *cloud.Service, dataset.Config) {
+	t.Helper()
+	st := video.Generate(video.THUMOS(), mathx.NewRNG(1))
+	ex, err := features.NewExtractor(st, []int{0}, features.DefaultDetector(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := cloud.NewService(st, cloud.RekognitionPricing(), cloud.DefaultLatency())
+	return ex, ci, dataset.Config{Window: 10, Horizon: 200}
+}
+
+func TestRunWithOpt(t *testing.T) {
+	ex, ci, cfg := setup(t)
+	m, err := New(ex, strategy.Opt{}, ci, cfg, EventHitCosts(cfg.Window))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, recs, preds, err := m.Run(0, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Horizons == 0 || len(recs) != rep.Horizons || len(preds) != rep.Horizons {
+		t.Fatalf("horizons=%d recs=%d preds=%d", rep.Horizons, len(recs), len(preds))
+	}
+	// OPT relays only event frames, so every CI frame is a hit.
+	u := ci.Usage()
+	if u.Frames != u.HitFrames {
+		t.Fatalf("OPT relayed %d frames but only %d hits", u.Frames, u.HitFrames)
+	}
+	rec, err := metrics.REC(recs, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != 1 {
+		t.Fatalf("OPT REC = %v", rec)
+	}
+	if rep.SpentUSD != ci.CostOf(int(u.Frames)) {
+		t.Fatalf("spend mismatch: %v vs %v", rep.SpentUSD, ci.CostOf(int(u.Frames)))
+	}
+}
+
+func TestRunStageAccounting(t *testing.T) {
+	ex, ci, cfg := setup(t)
+	m, _ := New(ex, strategy.BF{Horizon: cfg.Horizon}, ci, cfg, EventHitCosts(cfg.Window))
+	rep, _, _, err := m.Run(0, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScan := float64(rep.Horizons*cfg.Window) * FeatureMSDefault
+	if math.Abs(rep.ScanMS-wantScan) > 1e-9 {
+		t.Fatalf("ScanMS = %v, want %v", rep.ScanMS, wantScan)
+	}
+	// BF relays every horizon frame.
+	if rep.CIFrames != int64(rep.Horizons*cfg.Horizon) {
+		t.Fatalf("CIFrames = %d, want %d", rep.CIFrames, rep.Horizons*cfg.Horizon)
+	}
+	wantCI := float64(rep.CIFrames) * 40
+	if math.Abs(rep.CIMS-wantCI) > 1e-9 {
+		t.Fatalf("CIMS = %v, want %v", rep.CIMS, wantCI)
+	}
+	scan, pred, cis := rep.StageShares()
+	if math.Abs(scan+pred+cis-1) > 1e-9 {
+		t.Fatalf("stage shares sum to %v", scan+pred+cis)
+	}
+	if cis < 0.9 {
+		t.Fatalf("BF CI share = %v, should dominate", cis)
+	}
+	if rep.FPS() <= 0 {
+		t.Fatal("FPS must be positive")
+	}
+}
+
+func TestOptFasterThanBF(t *testing.T) {
+	exO, ciO, cfg := setup(t)
+	mo, _ := New(exO, strategy.Opt{}, ciO, cfg, EventHitCosts(cfg.Window))
+	ro, _, _, err := mo.Run(0, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exB, ciB, _ := setup(t)
+	mb, _ := New(exB, strategy.BF{Horizon: cfg.Horizon}, ciB, cfg, EventHitCosts(cfg.Window))
+	rb, _, _, err := mb.Run(0, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.FPS() <= rb.FPS() {
+		t.Fatalf("OPT FPS %v not above BF FPS %v", ro.FPS(), rb.FPS())
+	}
+	if ro.SpentUSD >= rb.SpentUSD {
+		t.Fatalf("OPT spend %v not below BF spend %v", ro.SpentUSD, rb.SpentUSD)
+	}
+}
+
+func TestCostProfiles(t *testing.T) {
+	eh := EventHitCosts(25)
+	if eh.Scan.FramesPerHorizon != 25 || eh.Scan.PerFrameMS != FeatureMSDefault {
+		t.Fatalf("EventHitCosts = %+v", eh)
+	}
+	v := VQSCosts(500)
+	if v.Scan.FramesPerHorizon != 500 || v.Scan.PerFrameMS != SpecializedMSDefault {
+		t.Fatalf("VQSCosts = %+v", v)
+	}
+	a := AppVAECosts(1500)
+	if a.Scan.FramesPerHorizon != 1500 || a.Scan.PerFrameMS != ActionDetMSDefault {
+		t.Fatalf("AppVAECosts = %+v", a)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	ex, ci, cfg := setup(t)
+	if _, err := New(ex, strategy.Opt{}, ci, dataset.Config{}, EventHitCosts(10)); err == nil {
+		t.Fatal("expected config validation error")
+	}
+	bad := EventHitCosts(10)
+	bad.PredictMS = -1
+	if _, err := New(ex, strategy.Opt{}, ci, cfg, bad); err == nil {
+		t.Fatal("expected cost validation error")
+	}
+}
+
+func TestRunClampsRange(t *testing.T) {
+	ex, ci, cfg := setup(t)
+	m, _ := New(ex, strategy.Opt{}, ci, cfg, EventHitCosts(cfg.Window))
+	// start below the first admissible anchor and end past the stream
+	rep, _, _, err := m.Run(-100, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Horizons == 0 {
+		t.Fatal("no horizons processed")
+	}
+}
+
+func TestReportZeroValue(t *testing.T) {
+	var r Report
+	if r.FPS() != 0 {
+		t.Fatal("zero report FPS")
+	}
+	a, b, c := r.StageShares()
+	if a != 0 || b != 0 || c != 0 {
+		t.Fatal("zero report shares")
+	}
+}
+
+func TestRunRetriesTransientCIFailures(t *testing.T) {
+	ex, ci, cfg := setup(t)
+	// Every third request fails once.
+	ci.SetFault(func(i int64) error {
+		if i%3 == 0 {
+			return cloud.ErrUnavailable
+		}
+		return nil
+	})
+	costs := EventHitCosts(cfg.Window)
+	costs.CIRetries = 2
+	m, _ := New(ex, strategy.Opt{}, ci, cfg, costs)
+	rep, recs, _, err := m.Run(0, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CIRetried == 0 {
+		t.Fatal("no retries recorded despite injected failures")
+	}
+	if len(recs) == 0 {
+		t.Fatal("no horizons processed")
+	}
+	if u := ci.Usage(); u.Failures == 0 {
+		t.Fatal("service did not record failures")
+	}
+}
+
+func TestRunSurfacesPersistentCIFailure(t *testing.T) {
+	ex, ci, cfg := setup(t)
+	ci.SetFault(func(int64) error { return cloud.ErrUnavailable })
+	costs := EventHitCosts(cfg.Window)
+	costs.CIRetries = 1
+	m, _ := New(ex, strategy.BF{Horizon: cfg.Horizon}, ci, cfg, costs)
+	_, _, _, err := m.Run(0, 10000)
+	if err == nil {
+		t.Fatal("persistent CI outage must fail the run")
+	}
+	if !errors.Is(err, cloud.ErrUnavailable) {
+		t.Fatalf("error does not wrap ErrUnavailable: %v", err)
+	}
+}

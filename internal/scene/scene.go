@@ -1,0 +1,227 @@
+// Package scene adds a geometric layer to the stream simulator: for every
+// event instance it synthesizes 2-D object trajectories — an agent (the
+// person) approaching an anchor (the vehicle, the gate, the net) through
+// the precursor, interacting during the occurrence interval, and departing
+// afterwards — plus background objects wandering the frame. The paper's
+// hand-picked covariates are geometric ("an indicator of the presence of
+// moving cars and a value for the average distance between the cars and
+// the persons in a frame", §VI.A); this package is what lets the feature
+// extractor compute exactly those quantities instead of abstract phase
+// ramps.
+//
+// Trajectories are closed-form functions of (instance, frame) with
+// hash-keyed noise, so object state is deterministic per frame and needs
+// no stored per-frame arrays — the same counter-based design as the
+// feature extractor.
+package scene
+
+import (
+	"math"
+
+	"eventhit/internal/mathx"
+	"eventhit/internal/video"
+)
+
+// Point is a 2-D position in normalized frame coordinates [0,1]^2.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance to q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Object is one simulated object in a frame.
+type Object struct {
+	// Kind distinguishes the roles.
+	Kind ObjectKind
+	// Pos is the position this frame.
+	Pos Point
+	// Vel is the per-frame displacement (velocity) vector.
+	Vel Point
+}
+
+// ObjectKind classifies objects.
+type ObjectKind int
+
+const (
+	// Agent is the moving participant of an event (the person).
+	Agent ObjectKind = iota
+	// Anchor is the stationary participant (the vehicle, gate, net).
+	Anchor
+	// Background is scene clutter unrelated to any event.
+	Background
+)
+
+// String implements fmt.Stringer.
+func (k ObjectKind) String() string {
+	switch k {
+	case Agent:
+		return "agent"
+	case Anchor:
+		return "anchor"
+	case Background:
+		return "background"
+	default:
+		return "unknown"
+	}
+}
+
+// World derives object states for a stream.
+type World struct {
+	stream *video.Stream
+	seed   uint64
+	// nBackground is the number of wandering clutter objects.
+	nBackground int
+}
+
+// NewWorld binds a geometric world to a stream. seed keys trajectory
+// randomness.
+func NewWorld(stream *video.Stream, seed int64) *World {
+	return &World{stream: stream, seed: uint64(seed), nBackground: 3}
+}
+
+// anchorOf returns the (fixed) anchor position of an instance, derived
+// from the instance identity.
+func (w *World) anchorOf(evType int, in video.Instance) Point {
+	h := uint64(in.OI.Start)
+	return Point{
+		X: 0.25 + 0.5*mathx.Hash01(w.seed, 11, uint64(evType), h, 0),
+		Y: 0.25 + 0.5*mathx.Hash01(w.seed, 11, uint64(evType), h, 1),
+	}
+}
+
+// startOf returns where the agent starts its approach.
+func (w *World) startOf(evType int, in video.Instance, anchor Point) Point {
+	h := uint64(in.OI.Start)
+	ang := 2 * math.Pi * mathx.Hash01(w.seed, 12, uint64(evType), h, 0)
+	r := 0.35 + 0.15*mathx.Hash01(w.seed, 12, uint64(evType), h, 1)
+	return Point{
+		X: mathx.Clamp(anchor.X+r*math.Cos(ang), 0, 1),
+		Y: mathx.Clamp(anchor.Y+r*math.Sin(ang), 0, 1),
+	}
+}
+
+// jitter adds small positional noise deterministic per (frame, salt).
+func (w *World) jitter(t int, salt uint64, scale float64) Point {
+	return Point{
+		X: scale * mathx.HashNormal(w.seed, uint64(t), salt, 0),
+		Y: scale * mathx.HashNormal(w.seed, uint64(t), salt, 1),
+	}
+}
+
+// agentPos returns the agent's noiseless position at frame t for an
+// instance: linear approach through the precursor, holding at the anchor
+// during the interval, linear departure afterwards.
+func (w *World) agentPos(evType int, in video.Instance, t int) Point {
+	anchor := w.anchorOf(evType, in)
+	start := w.startOf(evType, in, anchor)
+	lerp := func(a, b Point, f float64) Point {
+		return Point{X: a.X + (b.X-a.X)*f, Y: a.Y + (b.Y-a.Y)*f}
+	}
+	switch {
+	case t < in.PrecursorStart:
+		return start
+	case t < in.OI.Start:
+		span := in.OI.Start - in.PrecursorStart
+		f := float64(t-in.PrecursorStart+1) / float64(span)
+		return lerp(start, anchor, f)
+	case t <= in.OI.End:
+		return anchor
+	default:
+		// depart back toward the start over the same distance
+		span := in.OI.Start - in.PrecursorStart
+		if span <= 0 {
+			span = 1
+		}
+		f := mathx.Clamp(float64(t-in.OI.End)/float64(span), 0, 1)
+		return lerp(anchor, start, f)
+	}
+}
+
+// relevantInstance finds the instance of evType whose activity covers
+// frame t, looking at the next instance (its precursor may cover t) and,
+// for the departure phase, the previous one.
+func (w *World) relevantInstance(evType, t int) (video.Instance, bool) {
+	win := video.Interval{Start: t, End: t}
+	if in, ok := w.stream.FirstOverlapping(evType, win); ok {
+		return in, true
+	}
+	// Next instance whose precursor may already cover t.
+	next, ok := w.stream.FirstOverlapping(evType, video.Interval{Start: t, End: w.stream.N - 1})
+	if ok && t >= next.PrecursorStart {
+		return next, true
+	}
+	return video.Instance{}, false
+}
+
+// Objects returns the object states relevant to event type evType at
+// frame t: the agent and anchor when an instance's activity covers the
+// frame, plus the background clutter (always present). Objects are
+// returned in a deterministic order: agent, anchor, then background.
+func (w *World) Objects(evType, t int) []Object {
+	var out []Object
+	if in, ok := w.relevantInstance(evType, t); ok {
+		p0 := w.agentPos(evType, in, t)
+		p1 := w.agentPos(evType, in, t+1)
+		noise := w.jitter(t, uint64(evType)*31+1, 0.004)
+		out = append(out,
+			Object{Kind: Agent, Pos: Point{X: mathx.Clamp(p0.X+noise.X, 0, 1), Y: mathx.Clamp(p0.Y+noise.Y, 0, 1)},
+				Vel: Point{X: p1.X - p0.X, Y: p1.Y - p0.Y}},
+			Object{Kind: Anchor, Pos: w.anchorOf(evType, in)},
+		)
+	}
+	for b := 0; b < w.nBackground; b++ {
+		salt := uint64(1000 + b)
+		// slow sinusoidal wander, deterministic per frame
+		phase := 2 * math.Pi * mathx.Hash01(w.seed, salt, 7)
+		fx := 0.5 + 0.4*math.Sin(float64(t)/900+phase)
+		fy := 0.5 + 0.4*math.Cos(float64(t)/1300+phase*1.7)
+		out = append(out, Object{
+			Kind: Background,
+			Pos:  Point{X: fx, Y: fy},
+			Vel:  Point{X: 0.4 * math.Cos(float64(t)/900+phase) / 900, Y: -0.4 * math.Sin(float64(t)/1300+phase*1.7) / 1300},
+		})
+	}
+	return out
+}
+
+// GeometricFeatures summarizes the scene for one event type at frame t —
+// the §VI.A style covariate channels.
+type GeometricFeatures struct {
+	// AgentPresent reports whether an event-relevant agent is in frame.
+	AgentPresent bool
+	// AgentAnchorDist is the agent-anchor distance (1 when absent).
+	AgentAnchorDist float64
+	// ApproachSpeed is the radial speed toward the anchor, positive when
+	// closing, in distance units per frame (0 when absent).
+	ApproachSpeed float64
+	// ObjectCount is the number of visible objects.
+	ObjectCount int
+}
+
+// Features computes the geometric summary at frame t.
+func (w *World) Features(evType, t int) GeometricFeatures {
+	objs := w.Objects(evType, t)
+	gf := GeometricFeatures{AgentAnchorDist: 1, ObjectCount: len(objs)}
+	var agent, anchor *Object
+	for i := range objs {
+		switch objs[i].Kind {
+		case Agent:
+			agent = &objs[i]
+		case Anchor:
+			anchor = &objs[i]
+		}
+	}
+	if agent == nil || anchor == nil {
+		return gf
+	}
+	gf.AgentPresent = true
+	gf.AgentAnchorDist = agent.Pos.Dist(anchor.Pos)
+	// Radial speed: negative of the distance derivative.
+	next := Point{X: agent.Pos.X + agent.Vel.X, Y: agent.Pos.Y + agent.Vel.Y}
+	gf.ApproachSpeed = gf.AgentAnchorDist - next.Dist(anchor.Pos)
+	return gf
+}

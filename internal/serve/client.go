@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+)
+
+// Client is a small typed client for the marshalling service.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://localhost:8080"). httpClient may be nil for the default.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, hc: httpClient}
+}
+
+func (c *Client) post(path string, body, out interface{}) error {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return err
+		}
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", &buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, out)
+}
+
+func (c *Client) get(path string, out interface{}) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, out)
+}
+
+func decodeResponse(resp *http.Response, out interface{}) error {
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(b, &e) == nil && e.Error != "" {
+			return fmt.Errorf("serve: %s (%d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("serve: HTTP %d: %s", resp.StatusCode, b)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// PushFrames sends covariate vectors to the server.
+func (c *Client) PushFrames(frames [][]float64) (FramesResponse, error) {
+	var out FramesResponse
+	err := c.post("/v1/frames", FramesRequest{Frames: frames}, &out)
+	return out, err
+}
+
+// Predict asks for the marshalling decision at the current anchor.
+// confidence/coverage of 0 use the server defaults.
+func (c *Client) Predict(confidence, coverage float64) (PredictResponse, error) {
+	q := url.Values{}
+	if confidence > 0 {
+		q.Set("confidence", fmt.Sprintf("%g", confidence))
+	}
+	if coverage > 0 {
+		q.Set("coverage", fmt.Sprintf("%g", coverage))
+	}
+	path := "/v1/predict"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out PredictResponse
+	err := c.post(path, nil, &out)
+	return out, err
+}
+
+// Stats fetches the server counters.
+func (c *Client) Stats() (Stats, error) {
+	var out Stats
+	err := c.get("/v1/stats", &out)
+	return out, err
+}
+
+// Healthy reports whether the health endpoint answers.
+func (c *Client) Healthy() bool {
+	resp, err := c.hc.Get(c.base + "/v1/healthz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

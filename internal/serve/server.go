@@ -1,0 +1,268 @@
+// Package serve exposes a trained EventHit bundle as an HTTP service —
+// the "EventHit can reside on premise or in the cloud" deployment of
+// Figure 1. A camera-side process pushes covariate vectors (the output of
+// its local lightweight detector) as frames arrive; once per horizon it
+// asks for a marshalling decision and receives, per event, whether to
+// relay and which absolute frame range. The server tracks what a
+// brute-force deployment would have spent so operators can see the saving
+// live.
+//
+// API (JSON over HTTP):
+//
+//	POST /v1/frames   {"frames": [[...],[...]]}       -> {"buffered": n, "next": absIndex}
+//	POST /v1/predict  ?confidence=0.9&coverage=0.9    -> per-event decisions
+//	GET  /v1/stats                                    -> counters incl. estimated spend
+//	GET  /v1/healthz                                  -> 200 "ok"
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"eventhit/internal/dataset"
+	"eventhit/internal/strategy"
+	"eventhit/internal/trace"
+	"eventhit/internal/video"
+)
+
+// Config parametrizes the server.
+type Config struct {
+	// Bundle is the trained, calibrated EventHit unit.
+	Bundle *strategy.Bundle
+	// EventNames label the decisions (len K).
+	EventNames []string
+	// PerFrameUSD prices relays for the stats endpoint.
+	PerFrameUSD float64
+	// DefaultConfidence and DefaultCoverage are the knobs used when a
+	// predict request does not override them.
+	DefaultConfidence, DefaultCoverage float64
+	// Trace, when non-nil, receives one audit entry per event decision
+	// (see internal/trace).
+	Trace *trace.Writer
+}
+
+// Server is the HTTP marshalling service. Create with New; it implements
+// http.Handler.
+type Server struct {
+	cfg     Config
+	window  int
+	horizon int
+	k       int
+
+	mu sync.Mutex
+	// predictMu serializes model inference: core.Model caches activations
+	// and is not safe for concurrent Predict calls.
+	predictMu sync.Mutex
+	buf       [][]float64 // ring of the last `window` frames
+	next      int         // absolute index of the next frame to arrive
+	relays    int64
+	frames    int64
+	predicts  int64
+	skipped   int64
+
+	mux *http.ServeMux
+}
+
+// New validates cfg and returns a ready server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Bundle == nil || cfg.Bundle.Model == nil {
+		return nil, fmt.Errorf("serve: nil bundle")
+	}
+	mc := cfg.Bundle.Model.Config()
+	if len(cfg.EventNames) != mc.NumEvents {
+		return nil, fmt.Errorf("serve: %d event names for %d events", len(cfg.EventNames), mc.NumEvents)
+	}
+	if cfg.DefaultConfidence <= 0 || cfg.DefaultConfidence > 1 ||
+		cfg.DefaultCoverage <= 0 || cfg.DefaultCoverage > 1 {
+		return nil, fmt.Errorf("serve: default knobs must be in (0,1]")
+	}
+	s := &Server{
+		cfg:     cfg,
+		window:  mc.Window,
+		horizon: mc.Horizon,
+		k:       mc.NumEvents,
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/frames", s.handleFrames)
+	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// FramesRequest is the POST /v1/frames body.
+type FramesRequest struct {
+	Frames [][]float64 `json:"frames"`
+}
+
+// FramesResponse acknowledges buffered frames.
+type FramesResponse struct {
+	Buffered int `json:"buffered"` // frames currently in the window buffer
+	Next     int `json:"next"`     // absolute index of the next frame
+}
+
+func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {
+	var req FramesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if len(req.Frames) == 0 {
+		httpError(w, http.StatusBadRequest, "no frames")
+		return
+	}
+	d := s.cfg.Bundle.Model.Config().InputDim
+	for i, f := range req.Frames {
+		if len(f) != d {
+			httpError(w, http.StatusBadRequest, "frame %d has %d channels, model expects %d", i, len(f), d)
+			return
+		}
+	}
+	s.mu.Lock()
+	for _, f := range req.Frames {
+		fc := make([]float64, d)
+		copy(fc, f)
+		s.buf = append(s.buf, fc)
+		if len(s.buf) > s.window {
+			s.buf = s.buf[1:]
+		}
+		s.next++
+	}
+	resp := FramesResponse{Buffered: len(s.buf), Next: s.next}
+	s.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+// Decision is one event's marshalling verdict.
+type Decision struct {
+	Event string `json:"event"`
+	Relay bool   `json:"relay"`
+	// Start and End are absolute frame indices of the range to relay
+	// (inclusive); zero when Relay is false.
+	Start int `json:"start,omitempty"`
+	End   int `json:"end,omitempty"`
+}
+
+// PredictResponse is the POST /v1/predict body.
+type PredictResponse struct {
+	// Anchor is the absolute index of the last buffered frame (T_i).
+	Anchor int `json:"anchor"`
+	// HorizonEnd is Anchor + H.
+	HorizonEnd int        `json:"horizonEnd"`
+	Decisions  []Decision `json:"decisions"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	conf, cov := s.cfg.DefaultConfidence, s.cfg.DefaultCoverage
+	if v := r.URL.Query().Get("confidence"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 || f > 1 {
+			httpError(w, http.StatusBadRequest, "invalid confidence %q", v)
+			return
+		}
+		conf = f
+	}
+	if v := r.URL.Query().Get("coverage"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 || f > 1 {
+			httpError(w, http.StatusBadRequest, "invalid coverage %q", v)
+			return
+		}
+		cov = f
+	}
+	s.mu.Lock()
+	if len(s.buf) < s.window {
+		n := len(s.buf)
+		s.mu.Unlock()
+		httpError(w, http.StatusConflict, "window not full: %d of %d frames buffered", n, s.window)
+		return
+	}
+	x := make([][]float64, s.window)
+	copy(x, s.buf)
+	anchor := s.next - 1
+	s.mu.Unlock()
+
+	s.predictMu.Lock()
+	pred := s.cfg.Bundle.EHCR(conf, cov).Predict(dataset.Record{X: x, Label: make([]bool, s.k)})
+	s.predictMu.Unlock()
+	resp := PredictResponse{Anchor: anchor, HorizonEnd: anchor + s.horizon}
+	var relays, frames int64
+	skipped := int64(0)
+	for k := 0; k < s.k; k++ {
+		d := Decision{Event: s.cfg.EventNames[k]}
+		if pred.Occur[k] {
+			d.Relay = true
+			abs := video.Interval{Start: anchor + pred.OI[k].Start, End: anchor + pred.OI[k].End}
+			d.Start, d.End = abs.Start, abs.End
+			relays++
+			frames += int64(abs.Len())
+		} else {
+			skipped++
+		}
+		resp.Decisions = append(resp.Decisions, d)
+		if s.cfg.Trace != nil {
+			if err := s.cfg.Trace.Append(trace.Entry{
+				Anchor: anchor, Horizon: s.horizon,
+				Event: d.Event, EventIndex: k,
+				Relay: d.Relay, Start: d.Start, End: d.End,
+				Confidence: conf, Coverage: cov,
+			}); err != nil {
+				httpError(w, http.StatusInternalServerError, "trace append: %v", err)
+				return
+			}
+		}
+	}
+	s.mu.Lock()
+	s.predicts++
+	s.relays += relays
+	s.frames += frames
+	s.skipped += skipped
+	s.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+// Stats is the GET /v1/stats body.
+type Stats struct {
+	FramesIngested  int     `json:"framesIngested"`
+	Predictions     int64   `json:"predictions"`
+	Relays          int64   `json:"relays"`
+	SkippedHorizons int64   `json:"skippedHorizons"`
+	FramesToCloud   int64   `json:"framesToCloud"`
+	EstimatedUSD    float64 `json:"estimatedUSD"`
+	BruteForceUSD   float64 `json:"bruteForceUSD"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	st := Stats{
+		FramesIngested:  s.next,
+		Predictions:     s.predicts,
+		Relays:          s.relays,
+		SkippedHorizons: s.skipped,
+		FramesToCloud:   s.frames,
+		EstimatedUSD:    float64(s.frames) * s.cfg.PerFrameUSD,
+		BruteForceUSD:   float64(s.predicts) * float64(s.horizon) * float64(s.k) * s.cfg.PerFrameUSD,
+	}
+	s.mu.Unlock()
+	writeJSON(w, st)
+}

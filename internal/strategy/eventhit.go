@@ -1,0 +1,270 @@
+package strategy
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"eventhit/internal/conformal"
+	"eventhit/internal/core"
+	"eventhit/internal/dataset"
+	"eventhit/internal/metrics"
+	"eventhit/internal/video"
+)
+
+// Bundle packages a trained EventHit model with its two conformal
+// calibrations. The four EventHit-based strategies of §VI.B (EHO, EHC,
+// EHR, EHCR) are thin views over one bundle, so a single training +
+// calibration pass serves every knob setting of every variant.
+type Bundle struct {
+	Model      *core.Model
+	Classifier *conformal.Classifier
+	Regressor  *conformal.Regressor
+	// Scaled is the normalized-conformal variant of the regressor
+	// (record-adaptive bands); used by EHCRAdaptive.
+	Scaled *conformal.ScaledRegressor
+	// Tau1 and Tau2 are the decoding thresholds of Equations (4)-(5); the
+	// paper fixes both to 0.5.
+	Tau1, Tau2 float64
+}
+
+// Calibrate builds a bundle from a trained model and the two calibration
+// record sets (D_c-calib for C-CLASSIFY, D_r-calib for C-REGRESS).
+func Calibrate(m *core.Model, ccalib, rcalib []dataset.Record) (*Bundle, error) {
+	b := &Bundle{Model: m, Tau1: 0.5, Tau2: 0.5}
+	k := m.Config().NumEvents
+
+	// C-CLASSIFY calibration: existence scores vs labels.
+	if len(ccalib) == 0 {
+		return nil, fmt.Errorf("strategy: empty C-CLASSIFY calibration set")
+	}
+	calibB := make([][]float64, len(ccalib))
+	calibL := make([][]bool, len(ccalib))
+	for i, r := range ccalib {
+		out := m.Predict(r.X)
+		calibB[i] = out.B
+		calibL[i] = r.Label
+	}
+	cls, err := conformal.NewClassifier(calibB, calibL)
+	if err != nil {
+		return nil, fmt.Errorf("strategy: calibrating C-CLASSIFY: %w", err)
+	}
+	b.Classifier = cls
+
+	// C-REGRESS calibration: interval residuals on positive records.
+	if len(rcalib) == 0 {
+		return nil, fmt.Errorf("strategy: empty C-REGRESS calibration set")
+	}
+	startRes := make([][]float64, k)
+	endRes := make([][]float64, k)
+	scales := make([][]float64, k)
+	for _, r := range rcalib {
+		var out core.Output
+		evaluated := false
+		for j := 0; j < k; j++ {
+			if !r.Label[j] {
+				continue
+			}
+			if !evaluated {
+				out = m.Predict(r.X)
+				evaluated = true
+			}
+			iv, _ := core.DecodeInterval(out.Theta[j], b.Tau2)
+			startRes[j] = append(startRes[j], absInt(iv.Start-r.OI[j].Start))
+			endRes[j] = append(endRes[j], absInt(iv.End-r.OI[j].End))
+			scales[j] = append(scales[j], float64(iv.Len()))
+		}
+	}
+	reg, err := conformal.NewRegressor(m.Config().Horizon, startRes, endRes)
+	if err != nil {
+		return nil, fmt.Errorf("strategy: calibrating C-REGRESS: %w", err)
+	}
+	b.Regressor = reg
+	scaled, err := conformal.NewScaledRegressor(m.Config().Horizon, startRes, endRes, scales)
+	if err != nil {
+		return nil, fmt.Errorf("strategy: calibrating scaled C-REGRESS: %w", err)
+	}
+	b.Scaled = scaled
+	return b, nil
+}
+
+func absInt(v int) float64 {
+	if v < 0 {
+		v = -v
+	}
+	return float64(v)
+}
+
+// WithTaus returns a copy of the bundle with different decoding
+// thresholds τ1 and τ2 — the knob EHO sweeps when compared against the
+// conformal variants (the paper fixes both at 0.5; the ablation in this
+// repository sweeps them to show what conformal calibration buys over raw
+// threshold tuning).
+func (b *Bundle) WithTaus(tau1, tau2 float64) *Bundle {
+	out := *b
+	out.Tau1, out.Tau2 = tau1, tau2
+	return &out
+}
+
+// eh is the shared implementation of the four EventHit variants.
+type eh struct {
+	b *Bundle
+	// useConformalExistence selects C-CLASSIFY (Eq. 9) over the τ1
+	// threshold (Eq. 4); useConformalInterval selects C-REGRESS (Eq. 11)
+	// over the raw decoded interval (Eq. 6).
+	useConformalExistence bool
+	useConformalInterval  bool
+	adaptive              bool    // normalized C-REGRESS (EHCRAdaptive)
+	confidence            float64 // c, for C-CLASSIFY
+	coverage              float64 // α, for C-REGRESS
+	name                  string
+}
+
+// EHO uses only EventHit's output: τ1 for existence, τ2 decoding for the
+// interval.
+func (b *Bundle) EHO() Strategy { return &eh{b: b, name: "EHO"} }
+
+// EHC replaces the existence threshold with C-CLASSIFY at confidence c.
+func (b *Bundle) EHC(c float64) Strategy {
+	return &eh{b: b, useConformalExistence: true, confidence: c, name: "EHC"}
+}
+
+// EHR keeps the τ1 existence threshold and widens intervals with C-REGRESS
+// at coverage alpha.
+func (b *Bundle) EHR(alpha float64) Strategy {
+	return &eh{b: b, useConformalInterval: true, coverage: alpha, name: "EHR"}
+}
+
+// EHCR combines C-CLASSIFY and C-REGRESS.
+func (b *Bundle) EHCR(c, alpha float64) Strategy {
+	return &eh{
+		b:                     b,
+		useConformalExistence: true, confidence: c,
+		useConformalInterval: true, coverage: alpha,
+		name: "EHCR",
+	}
+}
+
+// EHCRAdaptive is EHCR with normalized (record-adaptive) conformal
+// regression: the band around each predicted interval scales with the
+// interval's own length, so short confident events pay less spillage than
+// long fuzzy ones at the same coverage level. An extension beyond the
+// paper (same marginal guarantee).
+func (b *Bundle) EHCRAdaptive(c, alpha float64) Strategy {
+	return &eh{
+		b:                     b,
+		useConformalExistence: true, confidence: c,
+		useConformalInterval: true, coverage: alpha,
+		adaptive: true,
+		name:     "EHCR-A",
+	}
+}
+
+// Name implements Strategy.
+func (s *eh) Name() string { return s.name }
+
+// Predict implements Strategy.
+func (s *eh) Predict(rec dataset.Record) metrics.Prediction {
+	out := s.b.Model.Predict(rec.X)
+	k := len(out.B)
+	p := metrics.Prediction{Occur: make([]bool, k), OI: make([]video.Interval, k)}
+	var occ []bool
+	if s.useConformalExistence {
+		occ = s.b.Classifier.Predict(out.B, s.confidence)
+	} else {
+		occ = core.DecodeExistence(out, s.b.Tau1)
+	}
+	for j := 0; j < k; j++ {
+		if !occ[j] {
+			continue
+		}
+		p.Occur[j] = true
+		iv, _ := core.DecodeInterval(out.Theta[j], s.b.Tau2)
+		if s.useConformalInterval {
+			if s.adaptive {
+				iv = s.b.Scaled.Adjust(j, iv, s.coverage, float64(iv.Len()))
+			} else {
+				iv = s.b.Regressor.Adjust(j, iv, s.coverage)
+			}
+		}
+		p.OI[j] = iv
+	}
+	return p
+}
+
+// PredictRuns is the multi-instance extension (§II footnote 1): existence
+// via C-CLASSIFY at the given confidence, then every maximal θ-run above
+// τ2 (runs separated by gaps of at most mergeGap are merged) becomes its
+// own relay range. Compared to Equation (6)'s single min..max span this
+// avoids relaying the dead time between two instances that share a
+// horizon. The per-event slice is nil when the event is predicted absent.
+func (b *Bundle) PredictRuns(rec dataset.Record, confidence float64, mergeGap int) [][]video.Interval {
+	out := b.Model.Predict(rec.X)
+	occ := b.Classifier.Predict(out.B, confidence)
+	runs := make([][]video.Interval, len(out.B))
+	for k := range out.B {
+		if !occ[k] {
+			continue
+		}
+		rs := core.DecodeIntervals(out.Theta[k], b.Tau2, mergeGap)
+		if len(rs) == 0 {
+			iv, _ := core.DecodeInterval(out.Theta[k], b.Tau2)
+			rs = []video.Interval{iv}
+		}
+		runs[k] = rs
+	}
+	return runs
+}
+
+// Save writes the entire deployable unit — model weights, C-CLASSIFY and
+// C-REGRESS calibration state and the decoding thresholds — to w.
+func (b *Bundle) Save(w io.Writer) error {
+	if err := b.Model.Save(w); err != nil {
+		return err
+	}
+	if err := b.Classifier.Save(w); err != nil {
+		return err
+	}
+	if err := b.Regressor.Save(w); err != nil {
+		return err
+	}
+	if err := b.Scaled.Save(w); err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(struct{ Tau1, Tau2 float64 }{b.Tau1, b.Tau2})
+}
+
+// LoadBundle reads a bundle written by Save. The reader is normalized to
+// an io.ByteReader once so the four concatenated gob streams decode
+// exactly.
+func LoadBundle(r io.Reader) (*Bundle, error) {
+	if _, ok := r.(io.ByteReader); !ok {
+		r = bufio.NewReader(r)
+	}
+	m, err := core.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	cls, err := conformal.LoadClassifier(r)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := conformal.LoadRegressor(r)
+	if err != nil {
+		return nil, err
+	}
+	scaled, err := conformal.LoadScaledRegressor(r)
+	if err != nil {
+		return nil, err
+	}
+	var taus struct{ Tau1, Tau2 float64 }
+	if err := gob.NewDecoder(r).Decode(&taus); err != nil {
+		return nil, fmt.Errorf("strategy: decode thresholds: %w", err)
+	}
+	if cls.NumEvents() != m.Config().NumEvents || reg.NumEvents() != m.Config().NumEvents {
+		return nil, fmt.Errorf("strategy: bundle event counts disagree (model %d, classifier %d, regressor %d)",
+			m.Config().NumEvents, cls.NumEvents(), reg.NumEvents())
+	}
+	return &Bundle{Model: m, Classifier: cls, Regressor: reg, Scaled: scaled, Tau1: taus.Tau1, Tau2: taus.Tau2}, nil
+}

@@ -1,0 +1,68 @@
+package strategy
+
+import (
+	"fmt"
+
+	"eventhit/internal/dataset"
+	"eventhit/internal/features"
+	"eventhit/internal/metrics"
+	"eventhit/internal/video"
+)
+
+// VQS adapts a BlazeIt-style video query system to the marshalling problem
+// (§VI.B item 8): a cheap specialized model scans every frame of the time
+// horizon for the object types associated with each event, and the whole
+// horizon is relayed to the CI for an event whenever the number of frames
+// containing its objects exceeds the threshold τ_vqs. VQS filters rather
+// than predicts — it has no notion of when inside the horizon the event
+// occurs — which is why it relays entire horizons and pays the
+// specialized-model cost on every frame (§VI.H).
+type VQS struct {
+	ex      *features.Extractor
+	horizon int
+	tau     int
+}
+
+// NewVQS returns a VQS filter with threshold tau (minimum object-bearing
+// frames per horizon).
+func NewVQS(ex *features.Extractor, horizon, tau int) (*VQS, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("strategy: VQS horizon %d must be positive", horizon)
+	}
+	if tau < 0 || tau > horizon {
+		return nil, fmt.Errorf("strategy: VQS threshold %d outside [0,%d]", tau, horizon)
+	}
+	return &VQS{ex: ex, horizon: horizon, tau: tau}, nil
+}
+
+// WithTau returns a copy with a different threshold for knob sweeps.
+func (v *VQS) WithTau(tau int) *VQS {
+	out := *v
+	out.tau = tau
+	return &out
+}
+
+// Name implements Strategy.
+func (v *VQS) Name() string { return "VQS" }
+
+// Predict implements Strategy.
+func (v *VQS) Predict(rec dataset.Record) metrics.Prediction {
+	k := len(rec.Label)
+	p := metrics.Prediction{Occur: make([]bool, k), OI: make([]video.Interval, k)}
+	for j := 0; j < k; j++ {
+		count := 0
+		for t := rec.Frame + 1; t <= rec.Frame+v.horizon; t++ {
+			if v.ex.ObjectsVisible(j, t) {
+				count++
+				if count > v.tau {
+					break
+				}
+			}
+		}
+		if count > v.tau {
+			p.Occur[j] = true
+			p.OI[j] = video.Interval{Start: 1, End: v.horizon}
+		}
+	}
+	return p
+}

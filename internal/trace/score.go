@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"fmt"
+
+	"eventhit/internal/video"
+)
+
+// Truth provides ground-truth occurrence intervals for scoring a trace —
+// in practice the CI's confirmed detections, in tests the simulated
+// stream.
+type Truth interface {
+	// InstancesOverlapping returns the true occurrence intervals of stream
+	// event type k overlapping win.
+	InstancesOverlapping(k int, win video.Interval) []video.Instance
+}
+
+// Audit is the realized quality of a trace period.
+type Audit struct {
+	// Decisions is the number of entries scored.
+	Decisions int
+	// Positives is the number of decisions whose horizon held >= 1 event.
+	Positives int
+	// CoveredFrames and TrueFrames give frame-level recall
+	// (CoveredFrames/TrueFrames) across all positives.
+	CoveredFrames, TrueFrames int
+	// RelayedFrames and WastedFrames measure cost: total frames sent and
+	// the subset that hit no event.
+	RelayedFrames, WastedFrames int
+	// MissedHorizons counts positive horizons that were skipped entirely.
+	MissedHorizons int
+}
+
+// Recall returns frame-level recall (0 when no true frames).
+func (a Audit) Recall() float64 {
+	if a.TrueFrames == 0 {
+		return 0
+	}
+	return float64(a.CoveredFrames) / float64(a.TrueFrames)
+}
+
+// Waste returns the fraction of relayed frames that hit no event.
+func (a Audit) Waste() float64 {
+	if a.RelayedFrames == 0 {
+		return 0
+	}
+	return float64(a.WastedFrames) / float64(a.RelayedFrames)
+}
+
+// Score replays entries against the ground truth. events maps the trace's
+// EventIndex to the truth's stream event-type index.
+func Score(entries []Entry, truth Truth, events []int) (Audit, error) {
+	var a Audit
+	for i, e := range entries {
+		if e.EventIndex < 0 || e.EventIndex >= len(events) {
+			return Audit{}, fmt.Errorf("trace: entry %d has event index %d, task has %d events",
+				i, e.EventIndex, len(events))
+		}
+		k := events[e.EventIndex]
+		hwin := video.Interval{Start: e.Anchor + 1, End: e.Anchor + e.Horizon}
+		trueFrames := 0
+		var truths []video.Interval
+		for _, in := range truth.InstancesOverlapping(k, hwin) {
+			if ov, ok := in.OI.Intersect(hwin); ok {
+				truths = append(truths, ov)
+				trueFrames += ov.Len()
+			}
+		}
+		a.Decisions++
+		if trueFrames > 0 {
+			a.Positives++
+			a.TrueFrames += trueFrames
+		}
+		if !e.Relay {
+			if trueFrames > 0 {
+				a.MissedHorizons++
+			}
+			continue
+		}
+		relay := video.Interval{Start: e.Start, End: e.End}
+		a.RelayedFrames += relay.Len()
+		hit := 0
+		for _, tr := range truths {
+			if ov, ok := relay.Intersect(tr); ok {
+				hit += ov.Len()
+			}
+		}
+		a.CoveredFrames += hit
+		a.WastedFrames += relay.Len() - hit
+	}
+	return a, nil
+}

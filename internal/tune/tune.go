@@ -1,0 +1,128 @@
+// Package tune implements the hyper-parameter search the paper defers to
+// (§III: "The hyper-parameters β_k and γ_k ... can be tuned by grid
+// search"): train one EventHit per grid point and keep the configuration
+// with the best validation objective. The objective is pluggable; the
+// default balances the two stages the loss weights trade off — existence
+// recall (driven by β) and interval recall (driven by γ).
+package tune
+
+import (
+	"fmt"
+	"io"
+
+	"eventhit/internal/core"
+	"eventhit/internal/dataset"
+	"eventhit/internal/metrics"
+	"eventhit/internal/strategy"
+)
+
+// Objective scores a trained bundle on validation records; higher is
+// better.
+type Objective func(b *strategy.Bundle, val []dataset.Record, horizon int) (float64, error)
+
+// DefaultObjective returns REC - 0.5*SPL of EHO on the validation set — a
+// single number rewarding recall and penalizing spillage.
+func DefaultObjective(b *strategy.Bundle, val []dataset.Record, horizon int) (float64, error) {
+	preds := strategy.PredictAll(b.EHO(), val)
+	rec, err := metrics.REC(val, preds)
+	if err != nil {
+		return 0, err
+	}
+	spl, err := metrics.SPL(val, preds, horizon)
+	if err != nil {
+		return 0, err
+	}
+	return rec - 0.5*spl, nil
+}
+
+// Grid is the search space: candidate uniform β and γ values (applied to
+// all events — per-event grids explode combinatorially and the paper
+// tunes scalars too).
+type Grid struct {
+	Betas  []float64
+	Gammas []float64
+}
+
+// DefaultGrid spans half an order of magnitude around the paper's
+// implicit 1.0.
+func DefaultGrid() Grid {
+	return Grid{
+		Betas:  []float64{0.5, 1, 2},
+		Gammas: []float64{0.5, 1, 2},
+	}
+}
+
+// Result is one evaluated grid point.
+type Result struct {
+	Beta, Gamma float64
+	Score       float64
+}
+
+// Search trains one model per grid point on train, calibrates on the two
+// calibration sets, scores on val, and returns all results plus the best
+// bundle. base supplies everything but Beta/Gamma; tc is the training
+// configuration. log, when non-nil, receives one line per grid point.
+func Search(base core.Config, tc core.TrainConfig, grid Grid, objective Objective,
+	train, ccalib, rcalib, val []dataset.Record, log io.Writer) ([]Result, *strategy.Bundle, error) {
+	if len(grid.Betas) == 0 || len(grid.Gammas) == 0 {
+		return nil, nil, fmt.Errorf("tune: empty grid")
+	}
+	if objective == nil {
+		objective = DefaultObjective
+	}
+	var results []Result
+	var best *strategy.Bundle
+	bestScore := 0.0
+	for _, beta := range grid.Betas {
+		for _, gamma := range grid.Gammas {
+			cfg := base
+			cfg.Beta = uniform(beta, cfg.NumEvents)
+			cfg.Gamma = uniform(gamma, cfg.NumEvents)
+			m, err := core.New(cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			if _, err := m.Train(train, tc); err != nil {
+				return nil, nil, fmt.Errorf("tune: beta=%v gamma=%v: %w", beta, gamma, err)
+			}
+			b, err := strategy.Calibrate(m, ccalib, rcalib)
+			if err != nil {
+				return nil, nil, fmt.Errorf("tune: beta=%v gamma=%v: %w", beta, gamma, err)
+			}
+			score, err := objective(b, val, cfg.Horizon)
+			if err != nil {
+				return nil, nil, err
+			}
+			results = append(results, Result{Beta: beta, Gamma: gamma, Score: score})
+			if log != nil {
+				fmt.Fprintf(log, "beta=%.2f gamma=%.2f score=%.4f\n", beta, gamma, score)
+			}
+			if best == nil || score > bestScore {
+				best, bestScore = b, score
+			}
+		}
+	}
+	return results, best, nil
+}
+
+func uniform(v float64, k int) []float64 {
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// Best returns the highest-scoring result.
+func Best(results []Result) (Result, error) {
+	if len(results) == 0 {
+		return Result{}, fmt.Errorf("tune: no results")
+	}
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.Score > best.Score {
+			best = r
+		}
+	}
+	return best, nil
+}

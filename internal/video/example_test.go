@@ -1,0 +1,35 @@
+package video_test
+
+import (
+	"fmt"
+
+	"eventhit/internal/mathx"
+	"eventhit/internal/video"
+)
+
+// ExampleGenerate builds a simulated THUMOS stream and inspects its first
+// event instance and the phase of a mid-precursor frame.
+func ExampleGenerate() {
+	st := video.Generate(video.THUMOS(), mathx.NewRNG(1))
+	in := st.ByType[0][0]
+	fmt.Println("first instance starts after its precursor:", in.PrecursorStart < in.OI.Start)
+	phase, _ := st.PhaseAt(0, (in.PrecursorStart+in.OI.Start)/2)
+	fmt.Println("mid-precursor phase:", phase)
+	phase, _ = st.PhaseAt(0, in.OI.Start)
+	fmt.Println("event start phase:", phase)
+	// Output:
+	// first instance starts after its precursor: true
+	// mid-precursor phase: precursor
+	// event start phase: active
+}
+
+// ExampleInterval demonstrates the inclusive-interval arithmetic used for
+// occurrence intervals.
+func ExampleInterval() {
+	a := video.Interval{Start: 10, End: 19}
+	b := video.Interval{Start: 15, End: 30}
+	ov, ok := a.Intersect(b)
+	fmt.Println(a.Len(), ok, ov)
+	// Output:
+	// 10 true [15,19]
+}

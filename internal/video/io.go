@@ -1,0 +1,54 @@
+package video
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// streamJSON is the on-disk form of a Stream: the spec plus every
+// instance, enough to reproduce any experiment byte-for-byte without the
+// generator seed.
+type streamJSON struct {
+	Spec   DatasetSpec  `json:"spec"`
+	N      int          `json:"n"`
+	ByType [][]Instance `json:"byType"`
+}
+
+// WriteJSON serializes the stream (spec + all instances).
+func (s *Stream) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(streamJSON{Spec: s.Spec, N: s.N, ByType: s.ByType})
+}
+
+// ReadJSON parses a stream written by WriteJSON and validates its
+// structural invariants (instances sorted, non-overlapping, inside the
+// stream).
+func ReadJSON(r io.Reader) (*Stream, error) {
+	var sj streamJSON
+	if err := json.NewDecoder(r).Decode(&sj); err != nil {
+		return nil, fmt.Errorf("video: decode stream: %w", err)
+	}
+	if sj.N <= 0 {
+		return nil, fmt.Errorf("video: stream length %d must be positive", sj.N)
+	}
+	if len(sj.ByType) != len(sj.Spec.Events) {
+		return nil, fmt.Errorf("video: %d instance lists for %d event types",
+			len(sj.ByType), len(sj.Spec.Events))
+	}
+	for k, ins := range sj.ByType {
+		for i, in := range ins {
+			if in.OI.Start < 0 || in.OI.End >= sj.N || in.OI.Len() == 0 {
+				return nil, fmt.Errorf("video: type %d instance %d has invalid interval %v", k, i, in.OI)
+			}
+			if in.PrecursorStart > in.OI.Start {
+				return nil, fmt.Errorf("video: type %d instance %d precursor after start", k, i)
+			}
+			if i > 0 && ins[i-1].OI.End >= in.OI.Start {
+				return nil, fmt.Errorf("video: type %d instances %d,%d overlap or are unsorted", k, i-1, i)
+			}
+		}
+	}
+	return &Stream{Spec: sj.Spec, N: sj.N, ByType: sj.ByType}, nil
+}
