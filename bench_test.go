@@ -12,6 +12,7 @@ package eventhit_test
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"eventhit/internal/conformal"
@@ -197,6 +198,82 @@ func BenchmarkLSTMForward(b *testing.B) {
 		l.Forward(seq)
 	}
 }
+
+// BenchmarkDenseBackward measures one dense-layer backward pass (128x64,
+// the trunk's shape class). Run with -benchmem: forward and backward reuse
+// the layer's scratch buffers, so steady state allocates nothing.
+func BenchmarkDenseBackward(b *testing.B) {
+	g := mathx.NewRNG(1)
+	d := nn.NewDense("d", 128, 64, g)
+	x := make([]float64, 128)
+	dy := make([]float64, 64)
+	for i := range x {
+		x[i] = g.Normal(0, 1)
+	}
+	for i := range dy {
+		dy[i] = g.Normal(0, 1)
+	}
+	d.Forward(x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Backward(dy)
+	}
+}
+
+// benchTrainSet builds a small training problem shared by the serial and
+// parallel training benchmarks.
+func benchTrainSet(b *testing.B) (core.Config, []dataset.Record) {
+	b.Helper()
+	cfg := core.DefaultConfig(12, 25, 200, 1)
+	g := mathx.NewRNG(1)
+	recs := make([]dataset.Record, 64)
+	for r := range recs {
+		x := make([][]float64, 25)
+		for i := range x {
+			x[i] = make([]float64, 12)
+			for j := range x[i] {
+				x[i][j] = g.Float64()
+			}
+		}
+		recs[r] = dataset.Record{
+			X:        x,
+			Label:    []bool{r%2 == 0},
+			OI:       []video.Interval{{Start: 50 + r, End: 120 + r}},
+			Censored: []bool{false},
+		}
+	}
+	return cfg, recs
+}
+
+// benchTrain times one epoch over the shared training set at the given
+// Parallelism (0 = the serial loop). On a multicore machine the parallel
+// variant's ns/op should drop roughly with the worker count; the results
+// themselves are identical for every Parallelism >= 1.
+func benchTrain(b *testing.B, parallelism int) {
+	b.Helper()
+	cfg, recs := benchTrainSet(b)
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = 1
+	tc.BatchSize = 16
+	tc.Parallelism = parallelism
+	m, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Train(recs, tc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainSerial is one epoch with the original serial loop.
+func BenchmarkTrainSerial(b *testing.B) { benchTrain(b, 0) }
+
+// BenchmarkTrainParallel is the same epoch with the data-parallel engine
+// at GOMAXPROCS workers.
+func BenchmarkTrainParallel(b *testing.B) { benchTrain(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkModelPredict measures one full EventHit inference (the
 // per-horizon cost the paper reports as negligible, §VI.H).

@@ -11,13 +11,21 @@
 //
 // Paper experiments: table1, table2, fig4 (one task), fig4all, fig5..fig10,
 // resources, loss. Extensions: ablation, drift, multi, geom, validity,
-// operate, tune, summary. "all" runs the paper set plus the extensions.
+// operate, tune, summary, parbench. "all" runs the paper set plus the
+// extensions.
+//
+// Experiments whose trials (or tasks, or sweep settings) are independent
+// run them on -parallelism concurrent workers; results are bit-identical at
+// any setting. parbench measures the speedup and writes it to -benchout as
+// JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"eventhit/internal/harness"
@@ -25,13 +33,15 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment to run (table1, table2, fig4[all], fig5..fig10, resources, ablation, drift, multi, geom, validity, operate, tune, summary, loss, all)")
-		task    = flag.String("task", "TA1", "task for single-task experiments (fig4, resources, loss)")
-		trials  = flag.Int("trials", 3, "independent trials to average (the paper uses 10)")
-		seed    = flag.Int64("seed", 1, "base random seed")
-		quick   = flag.Bool("quick", false, "use reduced dataset/epoch sizes")
-		window  = flag.Int("window", 0, "override collection window M (0 = dataset default)")
-		horizon = flag.Int("horizon", 0, "override time horizon H (0 = dataset default)")
+		exp         = flag.String("exp", "", "experiment to run (table1, table2, fig4[all], fig5..fig10, resources, ablation, drift, multi, geom, validity, operate, tune, summary, loss, parbench, all)")
+		task        = flag.String("task", "TA1", "task for single-task experiments (fig4, resources, loss)")
+		trials      = flag.Int("trials", 3, "independent trials to average (the paper uses 10)")
+		seed        = flag.Int64("seed", 1, "base random seed")
+		quick       = flag.Bool("quick", false, "use reduced dataset/epoch sizes")
+		window      = flag.Int("window", 0, "override collection window M (0 = dataset default)")
+		horizon     = flag.Int("horizon", 0, "override time horizon H (0 = dataset default)")
+		parallelism = flag.Int("parallelism", runtime.NumCPU(), "concurrent experiment cells (trials/tasks/settings); results are identical at any value")
+		benchOut    = flag.String("benchout", "BENCH_parallel.json", "output file for the parbench experiment")
 	)
 	flag.Parse()
 	if *exp == "" {
@@ -44,6 +54,7 @@ func main() {
 	}
 	opt.Window = *window
 	opt.Horizon = *horizon
+	harness.SetParallelism(*parallelism)
 
 	run := func(name string) error {
 		t0 := time.Now()
@@ -129,6 +140,23 @@ func main() {
 			}
 			_, err = harness.Resources(t, opt, *seed, os.Stdout)
 			return err
+		case "parbench":
+			res, err := harness.ParallelBench(opt, *seed, *parallelism, *trials, os.Stdout)
+			if err != nil {
+				return err
+			}
+			f, err := os.Create(*benchOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *benchOut)
+			return nil
 		case "loss":
 			t, err := harness.TaskByName(*task)
 			if err != nil {

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"eventhit/internal/harness"
 	"eventhit/internal/strategy"
@@ -18,11 +19,12 @@ import (
 
 func main() {
 	var (
-		task   = flag.String("task", "TA1", "Table II task to train")
-		out    = flag.String("out", "", "output model file (optional)")
-		epochs = flag.Int("epochs", 12, "training epochs")
-		seed   = flag.Int64("seed", 1, "random seed")
-		quick  = flag.Bool("quick", false, "use reduced dataset sizes")
+		task        = flag.String("task", "TA1", "Table II task to train")
+		out         = flag.String("out", "", "output model file (optional)")
+		epochs      = flag.Int("epochs", 12, "training epochs")
+		seed        = flag.Int64("seed", 1, "random seed")
+		quick       = flag.Bool("quick", false, "use reduced dataset sizes")
+		parallelism = flag.Int("parallelism", runtime.NumCPU(), "data-parallel training workers (results are identical for any value >= 1; 0 forces the serial loop)")
 	)
 	flag.Parse()
 
@@ -35,6 +37,7 @@ func main() {
 		opt = harness.Quick()
 	}
 	opt.Epochs = *epochs
+	opt.TrainParallelism = *parallelism
 
 	fmt.Printf("task %s: %s\n", t.Name, t.String())
 	env, err := harness.NewEnv(t, opt, *seed)

@@ -172,6 +172,22 @@ func New(cfg Config) (*Model, error) {
 // Config returns the model configuration.
 func (m *Model) Config() Config { return m.cfg }
 
+// Clone returns a structurally identical model carrying a copy of m's
+// current weights. Nothing is shared: the clone has its own layer caches,
+// gradient accumulators and dropout stream, so it can run forward/backward
+// concurrently with m. The data-parallel trainer gives every worker a
+// clone (a model replica) and re-syncs the weights after each optimizer
+// step.
+func (m *Model) Clone() *Model {
+	c, err := New(m.cfg)
+	if err != nil {
+		// m was built from this exact configuration, so it validates.
+		panic(fmt.Sprintf("core: Clone: %v", err))
+	}
+	nn.CopyParams(c.params, m.params)
+	return c
+}
+
 // NumParams returns the number of scalar weights.
 func (m *Model) NumParams() int { return nn.NumParams(m.params) }
 

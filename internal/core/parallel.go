@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"eventhit/internal/dataset"
+	"eventhit/internal/mathx"
+	"eventhit/internal/nn"
+)
+
+// The data-parallel training engine behind TrainConfig.Parallelism.
+//
+// Each minibatch is cut into micro-batches of microBatch records. A worker
+// owns a model replica (cloned weights, private layer caches and dropout
+// stream); it processes whole micro-batches: zero the replica's gradient
+// accumulators, run forward/backward over the micro-batch's records in
+// order, then flush the accumulated gradients into the micro-batch's
+// reduction slot. After the batch barrier, the primary adds the slots back
+// in micro-batch order and takes the optimizer step.
+//
+// Determinism does not come from the worker count — it comes from three
+// invariants that hold for every Parallelism >= 1:
+//
+//  1. micro-batch boundaries depend only on BatchSize, never on the number
+//     of workers, so the floating-point association of the gradient sum is
+//     fixed;
+//  2. the reduction adds slots in ascending micro-batch order on a single
+//     goroutine;
+//  3. dropout masks are keyed by (Seed, epoch, record position) via
+//     Dropout.Reseed rather than drawn from one sequential stream, so a
+//     record's masks do not depend on which replica processed it.
+//
+// Per-record losses (training and validation) are likewise written into
+// position-indexed buffers and summed in index order.
+
+// microBatch is the number of records one worker processes back-to-back
+// before flushing gradients to a reduction slot. It trades scheduling
+// granularity against flush overhead; it must never depend on the worker
+// count, or determinism invariant (1) breaks.
+const microBatch = 4
+
+// maxWorkersFactor bounds the goroutines spawned per training run at this
+// multiple of GOMAXPROCS. Oversubscription beyond that only adds scheduling
+// noise; results are unaffected either way.
+const maxWorkersFactor = 4
+
+// trainParallel is Train's data-parallel engine (tc.Parallelism >= 1).
+// Inputs are already validated.
+func (m *Model) trainParallel(recs []dataset.Record, tc TrainConfig) (TrainStats, error) {
+	workers := tc.Parallelism
+	if bound := maxWorkersFactor * runtime.GOMAXPROCS(0); workers > bound {
+		workers = bound
+	}
+	if chunks := (len(recs) + microBatch - 1) / microBatch; workers > chunks {
+		workers = chunks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Replica 0 is the primary itself; the optimizer steps its params and
+	// the weight sync fans them back out to the other replicas.
+	reps := make([]*Model, workers)
+	reps[0] = m
+	for w := 1; w < workers; w++ {
+		reps[w] = m.Clone()
+	}
+	nparam := nn.NumParams(m.params)
+	maxChunks := (tc.BatchSize + microBatch - 1) / microBatch
+	slots := make([][]float64, maxChunks)
+	for c := range slots {
+		slots[c] = make([]float64, nparam)
+	}
+	dLogits := make([][][]float64, workers)
+	for w := range dLogits {
+		dLogits[w] = make([][]float64, m.cfg.NumEvents)
+		for k := range dLogits[w] {
+			dLogits[w][k] = make([]float64, 1+m.cfg.Horizon)
+		}
+	}
+	lossBuf := make([]float64, len(recs))
+	valBuf := make([]float64, len(tc.Val))
+
+	opt := nn.NewAdam(m.params, tc.LR)
+	if tc.GradClip > 0 {
+		opt.SetGradClip(tc.GradClip)
+	}
+	g := mathx.NewRNG(tc.Seed)
+	order := make([]int, len(recs))
+	for i := range order {
+		order[i] = i
+	}
+	stats := TrainStats{BestEpoch: -1}
+	bestVal := 0.0
+	var bestWeights [][]float64
+	sinceBest := 0
+	for _, r := range reps {
+		r.drop.SetTraining(true)
+	}
+	defer func() {
+		for _, r := range reps {
+			r.drop.SetTraining(false)
+		}
+	}()
+
+	for epoch := 0; epoch < tc.Epochs; epoch++ {
+		if tc.Schedule != nil {
+			if lr := tc.Schedule.LR(epoch); lr > 0 {
+				opt.SetLR(lr)
+			}
+		}
+		g.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += tc.BatchSize {
+			end := start + tc.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := order[start:end]
+			nchunks := (len(batch) + microBatch - 1) / microBatch
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rep := reps[w]
+					for c := w; c < nchunks; c += workers {
+						nn.ZeroGrads(rep.params)
+						lo := c * microBatch
+						hi := lo + microBatch
+						if hi > len(batch) {
+							hi = len(batch)
+						}
+						for i := lo; i < hi; i++ {
+							pos := start + i
+							rec := recs[batch[i]]
+							rep.drop.Reseed(recSeed(tc.Seed, epoch, pos))
+							logits := rep.rawForward(rec.X)
+							lossBuf[pos] = rep.recordLoss(logits, rec, dLogits[w])
+							rep.backward(dLogits[w])
+						}
+						slots[c] = nn.FlattenGrads(slots[c], rep.params)
+					}
+				}(w)
+			}
+			wg.Wait()
+			// Deterministic all-reduce: replica contributions re-enter the
+			// primary's accumulators in micro-batch order, on this
+			// goroutine only.
+			nn.ZeroGrads(m.params)
+			for c := 0; c < nchunks; c++ {
+				nn.AddFlatGrads(m.params, slots[c])
+			}
+			scaleGrads(m.params, 1/float64(len(batch)))
+			opt.Step()
+			for w := 1; w < workers; w++ {
+				nn.CopyParams(reps[w].params, m.params)
+			}
+		}
+		var epochLoss float64
+		for _, l := range lossBuf {
+			epochLoss += l
+		}
+		mean := epochLoss / float64(len(recs))
+		stats.EpochLoss = append(stats.EpochLoss, mean)
+		var val float64
+		if len(tc.Val) > 0 {
+			val = evalLossParallel(reps, tc.Val, valBuf, dLogits)
+			stats.ValLoss = append(stats.ValLoss, val)
+		}
+		if tc.Log != nil {
+			if len(tc.Val) > 0 {
+				fmt.Fprintf(tc.Log, "epoch %2d/%d  loss %.4f  val %.4f\n", epoch+1, tc.Epochs, mean, val)
+			} else {
+				fmt.Fprintf(tc.Log, "epoch %2d/%d  loss %.4f\n", epoch+1, tc.Epochs, mean)
+			}
+		}
+		if tc.Patience > 0 {
+			if stats.BestEpoch < 0 || val < bestVal {
+				bestVal = val
+				stats.BestEpoch = epoch
+				sinceBest = 0
+				bestWeights = snapshotWeights(m.params)
+			} else if sinceBest++; sinceBest >= tc.Patience {
+				stats.StoppedEarly = true
+				restoreWeights(m.params, bestWeights)
+				if tc.Log != nil {
+					fmt.Fprintf(tc.Log, "early stop at epoch %d, best epoch %d (val %.4f)\n",
+						epoch+1, stats.BestEpoch+1, bestVal)
+				}
+				return stats, nil
+			}
+		}
+	}
+	if tc.Patience > 0 && bestWeights != nil {
+		restoreWeights(m.params, bestWeights)
+	}
+	return stats, nil
+}
+
+// recSeed keys one record's dropout stream by (base seed, epoch, position
+// in the epoch's shuffled order).
+func recSeed(seed int64, epoch, pos int) int64 {
+	return int64(mathx.HashU64(uint64(seed), uint64(epoch)+1, uint64(pos)+1))
+}
+
+// evalLossParallel computes the mean validation loss by sharding records
+// across the replicas (whose weights are in sync after the epoch's last
+// optimizer step), writing per-record losses into buf and summing them in
+// index order. Dropout is disabled on every replica for the duration, so
+// no randomness is consumed and the result is independent of the sharding.
+func evalLossParallel(reps []*Model, val []dataset.Record, buf []float64, dLogits [][][]float64) float64 {
+	for _, r := range reps {
+		r.drop.SetTraining(false)
+	}
+	workers := len(reps)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rep := reps[w]
+			for i := w; i < len(val); i += workers {
+				logits := rep.rawForward(val[i].X)
+				buf[i] = rep.recordLoss(logits, val[i], dLogits[w])
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, r := range reps {
+		r.drop.SetTraining(true)
+	}
+	var sum float64
+	for _, l := range buf {
+		sum += l
+	}
+	return sum / float64(len(val))
+}

@@ -35,6 +35,17 @@ type TrainConfig struct {
 	// Schedule, when non-nil, overrides LR per epoch (LR is still
 	// validated and used as epoch 0's rate when the schedule yields 0).
 	Schedule nn.Schedule
+	// Parallelism selects the training engine. 0 (the default) runs the
+	// original single-goroutine loop. n >= 1 runs the data-parallel engine:
+	// each minibatch is sharded across up to n workers, each owning a model
+	// replica, and replica gradients are reduced into the primary in fixed
+	// micro-batch order. The engine is bit-deterministic in n — any value
+	// >= 1 produces identical weights and losses for a given Seed (see
+	// DESIGN.md "Data-parallel training") — but its results differ in the
+	// last bits from the Parallelism == 0 loop, whose gradient reduction
+	// associates record by record and whose dropout masks come from one
+	// sequential stream.
+	Parallelism int
 }
 
 // DefaultTrainConfig returns settings that converge on the simulated
@@ -64,6 +75,9 @@ func (m *Model) Train(recs []dataset.Record, tc TrainConfig) (TrainStats, error)
 	if tc.Epochs <= 0 || tc.BatchSize <= 0 || tc.LR <= 0 {
 		return TrainStats{}, fmt.Errorf("core: invalid train config Epochs=%d BatchSize=%d LR=%v", tc.Epochs, tc.BatchSize, tc.LR)
 	}
+	if tc.Parallelism < 0 {
+		return TrainStats{}, fmt.Errorf("core: invalid train config Parallelism=%d", tc.Parallelism)
+	}
 	if tc.Patience > 0 && len(tc.Val) == 0 {
 		return TrainStats{}, fmt.Errorf("core: Patience requires a validation set")
 	}
@@ -74,6 +88,9 @@ func (m *Model) Train(recs []dataset.Record, tc TrainConfig) (TrainStats, error)
 		if len(r.Label) != m.cfg.NumEvents {
 			return TrainStats{}, fmt.Errorf("core: record %d has %d events, model expects %d", i, len(r.Label), m.cfg.NumEvents)
 		}
+	}
+	if tc.Parallelism > 0 {
+		return m.trainParallel(recs, tc)
 	}
 	opt := nn.NewAdam(m.params, tc.LR)
 	if tc.GradClip > 0 {

@@ -37,8 +37,10 @@ func Density(opt Options, multipliers []float64, seed int64, w io.Writer) ([]Den
 	if err != nil {
 		return nil, err
 	}
-	var rows []DensityRow
-	for _, mult := range multipliers {
+	// One pool cell per multiplier, slotted by index.
+	rows := make([]DensityRow, len(multipliers))
+	if err := forEachCell(len(multipliers), func(i int) error {
+		mult := multipliers[i]
 		spec := base.Dataset
 		evs := make([]video.EventSpec, len(spec.Events))
 		copy(evs, spec.Events)
@@ -54,20 +56,20 @@ func Density(opt Options, multipliers []float64, seed int64, w io.Writer) ([]Den
 
 		env, err := NewEnv(task, opt, seed)
 		if err != nil {
-			return nil, fmt.Errorf("harness: density x%.1f: %w", mult, err)
+			return fmt.Errorf("harness: density x%.1f: %w", mult, err)
 		}
 		row := DensityRow{Multiplier: mult}
 		evFrames := env.Stream.EventFrames(task.EventIdx[0], video.Interval{Start: 0, End: env.Stream.N - 1})
 		row.EventFraction = float64(evFrames) / float64(env.Stream.N)
 		if row.EHO, err = env.Eval(env.Bundle.EHO(), 0); err != nil {
-			return nil, err
+			return err
 		}
 		if row.EHCR90, err = env.Eval(env.Bundle.EHCR(0.9, 0.9), 0.9); err != nil {
-			return nil, err
+			return err
 		}
 		curve, err := env.CurveEHCR(ConfidenceLevels())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.SavingsAt90 = -1
 		bfFrames := len(env.Splits.Test) * env.Cfg.Horizon * task.NumEvents()
@@ -82,7 +84,10 @@ func Density(opt Options, multipliers []float64, seed int64, w io.Writer) ([]Den
 		}
 		// Score frames-sent on the same test set for the fraction check.
 		_ = metrics.FramesSent(strategy.PredictAll(env.Bundle.EHO(), env.Splits.Test))
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	if w != nil {
 		t := NewTable("Event-density sensitivity (TA10, occurrence rate scaled)",

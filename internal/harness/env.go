@@ -19,6 +19,11 @@ type Options struct {
 	Epochs                          int
 	TrainPosFrac                    float64
 	Detector                        features.DetectorConfig
+	// TrainParallelism is copied to core.TrainConfig.Parallelism: 0 keeps
+	// the legacy serial trainer, n >= 1 selects the deterministic
+	// data-parallel engine (whose results are identical for every n >= 1
+	// but differ in the last bits from the serial loop — see DESIGN.md).
+	TrainParallelism int
 	// Mutate, when non-nil, adjusts the model configuration before
 	// training (used by the ablation experiments, e.g. to swap the encoder
 	// or disable dropout).
@@ -96,6 +101,7 @@ func NewEnv(task Task, opt Options, seed int64) (*Env, error) {
 	tc := core.DefaultTrainConfig()
 	tc.Epochs = opt.Epochs
 	tc.Seed = seed
+	tc.Parallelism = opt.TrainParallelism
 	if _, err := m.Train(splits.Train, tc); err != nil {
 		return nil, fmt.Errorf("harness: training %s: %w", task.Name, err)
 	}

@@ -35,57 +35,71 @@ func Fig4(task Task, opt Options, trials int, seed int64, w io.Writer) (*Fig4Res
 		Curves: make(map[string][]Point),
 		Points: make(map[string]Point),
 	}
-	curveTrials := map[string][][]Point{}
-	pointTrials := map[string][]Point{}
-	addCurve := func(name string, pts []Point) { curveTrials[name] = append(curveTrials[name], pts) }
-	addPoint := func(name string, p Point) { pointTrials[name] = append(pointTrials[name], p) }
-
-	for trial := 0; trial < trials; trial++ {
+	// Each trial is one pool cell; its results are collected locally and
+	// merged in trial order below, so the averages match the serial run
+	// bit for bit at any parallelism.
+	type namedCurve struct {
+		name string
+		pts  []Point
+	}
+	type namedPoint struct {
+		name string
+		p    Point
+	}
+	type fig4Cell struct {
+		curves []namedCurve
+		points []namedPoint
+	}
+	cells := make([]fig4Cell, trials)
+	err := forEachCell(trials, func(trial int) error {
+		cell := &cells[trial]
+		addCurve := func(name string, pts []Point) { cell.curves = append(cell.curves, namedCurve{name, pts}) }
+		addPoint := func(name string, p Point) { cell.points = append(cell.points, namedPoint{name, p}) }
 		env, err := NewEnv(task, opt, seed+int64(trial))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		levels := ConfidenceLevels()
 		ehc, err := env.CurveEHC(levels)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		addCurve("EHC", ehc)
 		ehr, err := env.CurveEHR(levels)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		addCurve("EHR", ehr)
 		ehcr, err := env.CurveEHCR(levels)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		addCurve("EHCR", ehcr)
 		cox, err := env.CurveCox(CoxTaus())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		addCurve("COX", cox)
 		vqs, err := env.CurveVQS(VQSTaus(env.Cfg.Horizon))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		addCurve("VQS", vqs)
 
 		eho, err := env.Eval(env.Bundle.EHO(), 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		addPoint("EHO", eho)
 		if task.NumEvents() > 1 {
 			preds := strategy.PredictAll(env.Bundle.EHO(), env.Splits.Test)
 			perREC, err := metrics.PerEventREC(env.Splits.Test, preds)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			perSPL, err := metrics.PerEventSPL(env.Splits.Test, preds, env.Cfg.Horizon)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			for j, id := range task.EventIDs {
 				addPoint(fmt.Sprintf("EHO[E%d]", id), Point{REC: perREC[j], SPL: perSPL[j]})
@@ -93,12 +107,12 @@ func Fig4(task Task, opt Options, trials int, seed int64, w io.Writer) (*Fig4Res
 		}
 		optPt, err := env.Eval(strategy.Opt{}, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		addPoint("OPT", optPt)
 		bf, err := env.Eval(strategy.BF{Horizon: env.Cfg.Horizon}, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		addPoint("BF", bf)
 
@@ -109,21 +123,34 @@ func Fig4(task Task, opt Options, trials int, seed int64, w io.Writer) (*Fig4Res
 				acfg.Seed = seed + int64(trial)
 				av, err := strategy.FitAppVAE(env.Ex, env.Splits.Train, env.Cfg.Horizon, acfg)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				p, err := env.Eval(av, float64(m))
 				if err != nil {
-					return nil, err
+					return err
 				}
 				addPoint(av.Name(), p)
 			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	curveTrials := map[string][][]Point{}
+	pointTrials := map[string][]Point{}
+	for trial := range cells {
+		for _, c := range cells[trial].curves {
+			curveTrials[c.name] = append(curveTrials[c.name], c.pts)
+		}
+		for _, p := range cells[trial].points {
+			pointTrials[p.name] = append(pointTrials[p.name], p.p)
 		}
 	}
 	for name, trialsPts := range curveTrials {
 		res.Curves[name] = AveragePoints(trialsPts)
 	}
 	for name, pts := range pointTrials {
-		res.Points[name] = AveragePoints([][]Point{pts})[0]
 		avg := Point{Knob: pts[0].Knob}
 		for _, p := range pts {
 			avg.REC += p.REC

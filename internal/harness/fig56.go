@@ -37,26 +37,33 @@ func fig56(opt Options, trials int, seed int64, w io.Writer, knob string,
 	if trials <= 0 {
 		return nil, fmt.Errorf("harness: trials must be positive")
 	}
-	var out []Fig56Result
 	levels := ConfidenceLevels()
-	for _, name := range Fig5Tasks() {
+	names := Fig5Tasks()
+	// Flatten the (task, trial) grid into pool cells slotted by position.
+	grid := make([][]Point, len(names)*trials)
+	err := forEachCell(len(grid), func(c int) error {
+		name, trial := names[c/trials], c%trials
 		task, err := TaskByName(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		var trialPts [][]Point
-		for trial := 0; trial < trials; trial++ {
-			env, err := NewEnv(task, opt, seed+int64(trial))
-			if err != nil {
-				return nil, err
-			}
-			pts, err := curve(env, levels)
-			if err != nil {
-				return nil, err
-			}
-			trialPts = append(trialPts, pts)
+		env, err := NewEnv(task, opt, seed+int64(trial))
+		if err != nil {
+			return err
 		}
-		res := Fig56Result{Task: name, Knob: knob, Points: AveragePoints(trialPts)}
+		pts, err := curve(env, levels)
+		if err != nil {
+			return err
+		}
+		grid[c] = pts
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig56Result
+	for ti, name := range names {
+		res := Fig56Result{Task: name, Knob: knob, Points: AveragePoints(grid[ti*trials : (ti+1)*trials])}
 		out = append(out, res)
 		if w != nil {
 			comp := "REC_c"

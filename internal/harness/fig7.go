@@ -34,27 +34,34 @@ func Fig7(opt Options, varyWindow bool, values []int, trials int, seed int64, w 
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig7Row
-	for _, v := range values {
+	// The (value, trial) grid is flattened into pool cells; cell results
+	// are slotted by grid position and averaged in trial order.
+	grid := make([][]Point, len(values)*trials)
+	err = forEachCell(len(grid), func(c int) error {
+		v, trial := values[c/trials], c%trials
 		o := opt
 		if varyWindow {
 			o.Window = v
 		} else {
 			o.Horizon = v
 		}
-		var trialPts [][]Point
-		for trial := 0; trial < trials; trial++ {
-			env, err := NewEnv(task, o, seed+int64(trial))
-			if err != nil {
-				return nil, err
-			}
-			pts, err := env.CurveEHCR(ConfidenceLevels())
-			if err != nil {
-				return nil, err
-			}
-			trialPts = append(trialPts, pts)
+		env, err := NewEnv(task, o, seed+int64(trial))
+		if err != nil {
+			return err
 		}
-		avg := AveragePoints(trialPts)
+		pts, err := env.CurveEHCR(ConfidenceLevels())
+		if err != nil {
+			return err
+		}
+		grid[c] = pts
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig7Row
+	for vi, v := range values {
+		avg := AveragePoints(grid[vi*trials : (vi+1)*trials])
 		row := Fig7Row{Value: v, SPLAt: map[float64]float64{}, Reached: map[float64]bool{}}
 		for _, target := range Fig7RECTargets() {
 			spl, ok := MinSPLAtREC(avg, target)

@@ -30,25 +30,42 @@ func Fig8(opt Options, trials int, seed int64, w io.Writer) ([]Fig8Point, error)
 		return nil, err
 	}
 	price := cloud.RekognitionPricing().PerFrameUSD
-	var ehcrTrials, coxTrials [][]Point
-	var optUSD, bfUSD float64
-	for trial := 0; trial < trials; trial++ {
+	type fig8Cell struct {
+		ehcr, cox     []Point
+		optUSD, bfUSD float64
+	}
+	cells := make([]fig8Cell, trials)
+	err = forEachCell(trials, func(trial int) error {
 		env, err := NewEnv(task, opt, seed+int64(trial))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ehcr, err := env.CurveEHCR(ConfidenceLevels())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ehcrTrials = append(ehcrTrials, ehcr)
 		cox, err := env.CurveCox(CoxTaus())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		coxTrials = append(coxTrials, cox)
-		optUSD += float64(metrics.TrueEventFrames(env.Splits.Test)) * price
-		bfUSD += float64(len(env.Splits.Test)*env.Cfg.Horizon*task.NumEvents()) * price
+		cells[trial] = fig8Cell{
+			ehcr:   ehcr,
+			cox:    cox,
+			optUSD: float64(metrics.TrueEventFrames(env.Splits.Test)) * price,
+			bfUSD:  float64(len(env.Splits.Test)*env.Cfg.Horizon*task.NumEvents()) * price,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var ehcrTrials, coxTrials [][]Point
+	var optUSD, bfUSD float64
+	for _, c := range cells {
+		ehcrTrials = append(ehcrTrials, c.ehcr)
+		coxTrials = append(coxTrials, c.cox)
+		optUSD += c.optUSD
+		bfUSD += c.bfUSD
 	}
 	optUSD /= float64(trials)
 	bfUSD /= float64(trials)

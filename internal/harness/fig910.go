@@ -27,15 +27,19 @@ func Fig9Tasks() []string { return []string{"TA10", "TA11"} }
 // the full marshalling pipeline (feature extraction + predictor + CI) over
 // the test region of the stream.
 func Fig9(opt Options, seed int64, w io.Writer) ([]Fig9Point, error) {
-	var out []Fig9Point
-	for _, name := range Fig9Tasks() {
+	// One pool cell per task; each cell sweeps its knobs locally and the
+	// per-task point lists are concatenated in task order.
+	names := Fig9Tasks()
+	cells := make([][]Fig9Point, len(names))
+	if err := forEachCell(len(names), func(ti int) error {
+		name := names[ti]
 		task, err := TaskByName(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		env, err := NewEnv(task, opt, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		start, end := testRegion(env)
 		run := func(algo string, knob float64, s strategy.Strategy, costs pipeline.Costs) error {
@@ -52,27 +56,34 @@ func Fig9(opt Options, seed int64, w io.Writer) ([]Fig9Point, error) {
 			if err != nil {
 				return err
 			}
-			out = append(out, Fig9Point{Task: name, Algorithm: algo, Knob: knob, REC: rec, FPS: rep.FPS()})
+			cells[ti] = append(cells[ti], Fig9Point{Task: name, Algorithm: algo, Knob: knob, REC: rec, FPS: rep.FPS()})
 			return nil
 		}
 		for _, level := range ConfidenceLevels() {
 			if err := run("EHCR", level, env.Bundle.EHCR(level, level),
 				pipeline.EventHitCosts(env.Cfg.Window)); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		for _, tau := range CoxTaus() {
 			if err := run("COX", tau, env.Cox.WithTau(tau),
 				pipeline.EventHitCosts(env.Cfg.Window)); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		for _, tau := range VQSTaus(env.Cfg.Horizon) {
 			if err := run("VQS", float64(tau), env.VQS.WithTau(tau),
 				pipeline.VQSCosts(env.Cfg.Horizon)); err != nil {
-				return nil, err
+				return err
 			}
 		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var out []Fig9Point
+	for _, pts := range cells {
+		out = append(out, pts...)
 	}
 	if w != nil {
 		t := NewTable("Figure 9 — REC vs simulated FPS", "task", "algorithm", "knob", "REC", "FPS")

@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"eventhit/internal/core"
+	"eventhit/internal/dataset"
+	"eventhit/internal/features"
+	"eventhit/internal/mathx"
+	"eventhit/internal/video"
+)
+
+// TrainBench compares the serial training loop against the data-parallel
+// engine on the same records and initial weights.
+type TrainBench struct {
+	Task       string  `json:"task"`
+	Records    int     `json:"records"`
+	Epochs     int     `json:"epochs"`
+	SerialMS   float64 `json:"serial_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+	FinalLoss  float64 `json:"final_loss"`
+}
+
+// HarnessBench compares one experiment run with serial cells against the
+// same run with the cell pool at the benchmark's parallelism.
+type HarnessBench struct {
+	Experiment string  `json:"experiment"`
+	SerialMS   float64 `json:"serial_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// ParallelBenchResult is the machine-readable record emitted as
+// BENCH_parallel.json: wall-clock for the serial and parallel paths of a
+// training run and a harness experiment, plus the machine context needed to
+// interpret the ratios (on a single-CPU box both speedups sit near 1).
+type ParallelBenchResult struct {
+	CPUs        int          `json:"cpus"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Parallelism int          `json:"parallelism"`
+	Train       TrainBench   `json:"train"`
+	Harness     HarnessBench `json:"harness"`
+}
+
+// ParallelBench measures the wall-clock effect of the two parallel paths
+// introduced with TrainConfig.Parallelism and the harness cell pool: it
+// trains the TA1 model once with the serial loop and once with the
+// data-parallel engine at `parallelism` workers, then runs the Validity
+// experiment once with serial cells and once with the pool at the same
+// width. Results are averaged over nothing — each leg runs once — so treat
+// single-digit percent differences as noise.
+func ParallelBench(opt Options, seed int64, parallelism, trials int, w io.Writer) (*ParallelBenchResult, error) {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	if trials <= 0 {
+		trials = 2
+	}
+	task, err := TaskByName("TA1")
+	if err != nil {
+		return nil, err
+	}
+
+	// Build the training problem once, the way NewEnv does, so both engines
+	// see identical records and model configuration.
+	g := mathx.NewRNG(seed)
+	cfg := dataset.Config{Window: opt.Window, Horizon: opt.Horizon}
+	if cfg.Window == 0 {
+		cfg.Window = task.Dataset.Window
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = task.Dataset.Horizon
+	}
+	st := video.Generate(task.Dataset, g.Split(1))
+	ex, err := features.NewExtractor(st, task.EventIdx, opt.Detector, seed)
+	if err != nil {
+		return nil, err
+	}
+	splits, err := dataset.Build(ex, dataset.SampleConfig{
+		Config: cfg,
+		NTrain: opt.NTrain, NCCalib: opt.NCCalib, NRCalib: opt.NRCalib, NTest: opt.NTest,
+		TrainPosFrac: opt.TrainPosFrac,
+	}, g.Split(2))
+	if err != nil {
+		return nil, err
+	}
+	mcfg := core.DefaultConfig(ex.Dim(), cfg.Window, cfg.Horizon, task.NumEvents())
+	mcfg.Seed = seed
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = opt.Epochs
+	tc.Seed = seed
+
+	timeTrain := func(par int) (float64, float64, error) {
+		m, err := core.New(mcfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		tc := tc
+		tc.Parallelism = par
+		t0 := time.Now()
+		stats, err := m.Train(splits.Train, tc)
+		if err != nil {
+			return 0, 0, err
+		}
+		return float64(time.Since(t0)) / float64(time.Millisecond),
+			stats.EpochLoss[len(stats.EpochLoss)-1], nil
+	}
+	serialMS, _, err := timeTrain(0)
+	if err != nil {
+		return nil, err
+	}
+	parallelMS, finalLoss, err := timeTrain(parallelism)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ParallelBenchResult{
+		CPUs:        runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Parallelism: parallelism,
+		Train: TrainBench{
+			Task: task.Name, Records: len(splits.Train), Epochs: tc.Epochs,
+			SerialMS: serialMS, ParallelMS: parallelMS,
+			Speedup: serialMS / parallelMS, FinalLoss: finalLoss,
+		},
+	}
+
+	timeHarness := func(par int) (float64, error) {
+		defer SetParallelism(SetParallelism(par))
+		t0 := time.Now()
+		if _, err := Validity("TA10", opt, trials, seed, nil); err != nil {
+			return 0, err
+		}
+		return float64(time.Since(t0)) / float64(time.Millisecond), nil
+	}
+	hs, err := timeHarness(1)
+	if err != nil {
+		return nil, err
+	}
+	hp, err := timeHarness(parallelism)
+	if err != nil {
+		return nil, err
+	}
+	res.Harness = HarnessBench{
+		Experiment: fmt.Sprintf("validity(TA10, %d trials)", trials),
+		SerialMS:   hs, ParallelMS: hp, Speedup: hs / hp,
+	}
+
+	if w != nil {
+		t := NewTable(fmt.Sprintf("Parallel speedup (%d CPUs, parallelism %d)", res.CPUs, parallelism),
+			"path", "serial (ms)", "parallel (ms)", "speedup")
+		t.Addf("train "+task.Name, fmt.Sprintf("%.0f", serialMS), fmt.Sprintf("%.0f", parallelMS),
+			fmt.Sprintf("%.2fx", res.Train.Speedup))
+		t.Addf(res.Harness.Experiment, fmt.Sprintf("%.0f", hs), fmt.Sprintf("%.0f", hp),
+			fmt.Sprintf("%.2fx", res.Harness.Speedup))
+		t.Render(w)
+	}
+	return res, nil
+}

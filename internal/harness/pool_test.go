@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSetParallelism(t *testing.T) {
+	defer SetParallelism(SetParallelism(1))
+	if prev := SetParallelism(4); prev != 1 {
+		t.Fatalf("previous parallelism %d, want 1", prev)
+	}
+	if got := Parallelism(); got != 4 {
+		t.Fatalf("parallelism %d, want 4", got)
+	}
+	SetParallelism(-3)
+	if got := Parallelism(); got != 1 {
+		t.Fatalf("parallelism after negative set %d, want clamp to 1", got)
+	}
+}
+
+func TestForEachCellCoversAll(t *testing.T) {
+	defer SetParallelism(SetParallelism(1))
+	for _, p := range []int{1, 3, 8} {
+		SetParallelism(p)
+		const n = 37
+		var hits [n]atomic.Int64
+		if err := forEachCell(n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("P=%d: cell %d ran %d times", p, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachCellReturnsLowestError(t *testing.T) {
+	defer SetParallelism(SetParallelism(4))
+	err := forEachCell(10, func(i int) error {
+		if i == 2 || i == 7 {
+			return fmt.Errorf("cell %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "cell 2 failed" {
+		t.Fatalf("got %v, want the lowest-index cell error", err)
+	}
+}
+
+// TestPoolDeterminism is the harness-level parity check: the same
+// experiment run serially and with concurrent cells must produce identical
+// results, down to the last bit.
+func TestPoolDeterminism(t *testing.T) {
+	defer SetParallelism(SetParallelism(1))
+
+	SetParallelism(1)
+	t1, err := Table1(3, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := Validity("TA10", Quick(), 2, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	SetParallelism(4)
+	t4, err := Table1(3, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v4, err := Validity("TA10", Quick(), 2, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(t1, t4) {
+		t.Error("Table1 differs between serial and parallel cells")
+	}
+	if !reflect.DeepEqual(v1, v4) {
+		t.Error("Validity differs between serial and parallel cells")
+	}
+}

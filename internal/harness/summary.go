@@ -22,28 +22,32 @@ type SummaryRow struct {
 // the EHO operating point, EHCR at the 0.9/0.9 knobs, and the top of the
 // EHCR curve — the numbers a reader checks first against Figure 4.
 func Summary(opt Options, seed int64, w io.Writer) ([]SummaryRow, error) {
-	var rows []SummaryRow
-	for _, task := range Tasks() {
+	tasks := Tasks()
+	// One pool cell per task, slotted by task index so the row order (and
+	// every number) matches the serial run.
+	rows := make([]SummaryRow, len(tasks))
+	err := forEachCell(len(tasks), func(i int) error {
+		task := tasks[i]
 		env, err := NewEnv(task, opt, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		eho, err := env.Eval(env.Bundle.EHO(), 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ehoPreds := strategy.PredictAll(env.Bundle.EHO(), env.Splits.Test)
 		ci, err := metrics.RECBootstrap(env.Splits.Test, ehoPreds, 200, 0.95, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		mid, err := env.Eval(env.Bundle.EHCR(0.9, 0.9), 0.9)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		curve, err := env.CurveEHCR(ConfidenceLevels())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := SummaryRow{Task: task.Name, EHO: eho, EHOCI: ci, EHCR90: mid}
 		for _, p := range curve {
@@ -52,9 +56,15 @@ func Summary(opt Options, seed int64, w io.Writer) ([]SummaryRow, error) {
 				row.SPLAtMax = p.SPL
 			}
 		}
-		rows = append(rows, row)
-		if w != nil {
-			fmt.Fprintf(w, "%s done\n", task.Name)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if w != nil {
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s done\n", r.Task)
 		}
 	}
 	if w != nil {

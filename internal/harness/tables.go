@@ -31,15 +31,30 @@ func Table1(trials int, seed int64, w io.Writer) ([]Table1Row, error) {
 		return nil, fmt.Errorf("harness: trials must be positive")
 	}
 	var rows []Table1Row
-	for _, spec := range []video.DatasetSpec{video.VIRAT(), video.THUMOS(), video.Breakfast()} {
+	specs := []video.DatasetSpec{video.VIRAT(), video.THUMOS(), video.Breakfast()}
+	// One pool cell per (dataset, trial); durations are pooled in trial
+	// order afterwards so the summary statistics match the serial run.
+	grid := make([][][]float64, len(specs)*trials)
+	if err := forEachCell(len(grid), func(c int) error {
+		spec, trial := specs[c/trials], c%trials
+		st := video.Generate(spec, mathx.NewRNG(seed+int64(trial)))
+		durs := make([][]float64, len(spec.Events))
+		for k := range spec.Events {
+			durs[k] = st.Durations(k)
+		}
+		grid[c] = durs
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for si, spec := range specs {
 		perEvent := make([][]float64, len(spec.Events)) // durations pooled across trials
 		counts := make([]float64, len(spec.Events))
 		for trial := 0; trial < trials; trial++ {
-			st := video.Generate(spec, mathx.NewRNG(seed+int64(trial)))
+			durs := grid[si*trials+trial]
 			for k := range spec.Events {
-				d := st.Durations(k)
-				counts[k] += float64(len(d))
-				perEvent[k] = append(perEvent[k], d...)
+				counts[k] += float64(len(durs[k]))
+				perEvent[k] = append(perEvent[k], durs[k]...)
 			}
 		}
 		for k, ev := range spec.Events {

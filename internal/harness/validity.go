@@ -42,10 +42,15 @@ func Validity(taskName string, opt Options, trials int, seed int64, w io.Writer)
 	for i, l := range levels {
 		rows[i].Level = l
 	}
-	for trial := 0; trial < trials; trial++ {
+	// Each trial is one pool cell accumulating into its own row slice; the
+	// per-trial rows are summed in trial order below so the averages match
+	// the serial run exactly.
+	cells := make([][]ValidityRow, trials)
+	if err := forEachCell(trials, func(trial int) error {
+		rows := make([]ValidityRow, len(levels))
 		env, err := NewEnv(task, opt, seed+int64(trial))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for i, level := range levels {
 			// Theorem 4.2: existence coverage at confidence c.
@@ -99,6 +104,18 @@ func Validity(taskName string, opt Options, trials int, seed int64, w io.Writer)
 			}
 		}
 		_ = dataset.Record{}
+		cells[trial] = rows
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, cell := range cells {
+		for i := range rows {
+			rows[i].ExistenceCoverage += cell[i].ExistenceCoverage
+			rows[i].StartCoverage += cell[i].StartCoverage
+			rows[i].EndCoverage += cell[i].EndCoverage
+			rows[i].Positives += cell[i].Positives
+		}
 	}
 	for i := range rows {
 		rows[i].ExistenceCoverage /= float64(trials)

@@ -4,6 +4,7 @@ package nn
 // last Forward input for Backward.
 type ReLU struct {
 	mask []bool
+	y    []float64 // output buffer, reused across Forward calls
 }
 
 // NewReLU returns a ReLU activation.
@@ -12,13 +13,20 @@ func NewReLU() *ReLU { return &ReLU{} }
 // Params implements Layer (ReLU has none).
 func (r *ReLU) Params() []*Param { return nil }
 
-// Forward returns max(0, x) elementwise.
+// Forward returns max(0, x) elementwise. The returned slice is reused by
+// the next Forward; copy it if it must survive that call.
 func (r *ReLU) Forward(x []float64) []float64 {
 	if cap(r.mask) < len(x) {
 		r.mask = make([]bool, len(x))
 	}
 	r.mask = r.mask[:len(x)]
-	y := make([]float64, len(x))
+	if cap(r.y) < len(x) {
+		r.y = make([]float64, len(x))
+	}
+	y := r.y[:len(x)]
+	for i := range y {
+		y[i] = 0
+	}
 	for i, v := range x {
 		if v > 0 {
 			y[i] = v

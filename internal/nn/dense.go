@@ -12,6 +12,7 @@ type Dense struct {
 	in, out int
 	w, b    *Param
 	x       []float64 // cached input from the last Forward
+	y       []float64 // output buffer, reused across Forward calls
 	dx      []float64 // scratch for Backward
 }
 
@@ -24,6 +25,7 @@ func NewDense(name string, in, out int, g *mathx.RNG) *Dense {
 		out: out,
 		w:   NewParam(name+".w", in*out),
 		b:   NewParam(name+".b", out),
+		y:   make([]float64, out),
 		dx:  make([]float64, in),
 	}
 	XavierInit(d.w.W, in, out, g)
@@ -39,13 +41,14 @@ func (d *Dense) Out() int { return d.out }
 // Params implements Layer.
 func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
 
-// Forward computes W*x + b and caches x for Backward.
+// Forward computes W*x + b and caches x for Backward. The returned slice
+// is reused by the next Forward; copy it if it must survive that call.
 func (d *Dense) Forward(x []float64) []float64 {
 	if len(x) != d.in {
 		panic(fmt.Sprintf("nn: Dense %s input %d, want %d", d.w.Name, len(x), d.in))
 	}
 	d.x = x
-	y := make([]float64, d.out)
+	y := d.y
 	for o := 0; o < d.out; o++ {
 		row := d.w.W[o*d.in : (o+1)*d.in]
 		y[o] = mathx.Dot(row, x) + d.b.W[o]

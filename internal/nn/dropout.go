@@ -10,6 +10,7 @@ type Dropout struct {
 	train bool
 	g     *mathx.RNG
 	mask  []float64
+	y     []float64 // output buffer, reused across training Forward calls
 }
 
 // NewDropout returns a dropout layer with drop probability p in [0, 1).
@@ -23,10 +24,18 @@ func NewDropout(p float64, g *mathx.RNG) *Dropout {
 // SetTraining toggles training mode.
 func (d *Dropout) SetTraining(on bool) { d.train = on }
 
+// Reseed restarts the mask stream from seed. The data-parallel trainer
+// keys every record's masks by (seed, epoch, position) instead of drawing
+// them from one sequential stream, so the masks a record receives do not
+// depend on how the batch was sharded across workers.
+func (d *Dropout) Reseed(seed int64) { d.g.Reseed(seed) }
+
 // Params implements Layer (dropout has none).
 func (d *Dropout) Params() []*Param { return nil }
 
-// Forward applies the mask in training mode, identity otherwise.
+// Forward applies the mask in training mode, identity otherwise. The
+// returned slice is reused by the next training-mode Forward; copy it if
+// it must survive that call.
 func (d *Dropout) Forward(x []float64) []float64 {
 	if !d.train || d.p == 0 {
 		d.mask = nil
@@ -37,7 +46,13 @@ func (d *Dropout) Forward(x []float64) []float64 {
 	}
 	d.mask = d.mask[:len(x)]
 	keep := 1 - d.p
-	y := make([]float64, len(x))
+	if cap(d.y) < len(x) {
+		d.y = make([]float64, len(x))
+	}
+	y := d.y[:len(x)]
+	for i := range y {
+		y[i] = 0
+	}
 	for i, v := range x {
 		if d.g.Float64() < keep {
 			d.mask[i] = 1 / keep

@@ -24,6 +24,14 @@ type GRU struct {
 	hs           [][]float64 // hs[0] is the zero initial state
 	rg, zg, cand [][]float64 // post-activation gates and candidate per step
 	rhPrev       [][]float64 // r ⊙ h_{t-1} cache
+
+	// scratch reused across calls so the training hot path allocates
+	// nothing per step
+	a, ac         []float64   // gate / candidate pre-activations (Forward)
+	hOut          []float64   // copy of h_n returned by Forward
+	dxs           [][]float64 // per-step input gradients (Backward)
+	dhCur, dhPrev []float64   // BPTT state (Backward)
+	da, dac, drh  []float64   // gate gradients (Backward)
 }
 
 // NewGRU returns a GRU with Xavier-initialized weights.
@@ -37,6 +45,14 @@ func NewGRU(name string, in, hidden int, g *mathx.RNG) *GRU {
 		wxc:    NewParam(name+".wxc", hidden*in),
 		whc:    NewParam(name+".whc", hidden*hidden),
 		bc:     NewParam(name+".bc", hidden),
+		a:      make([]float64, 2*hidden),
+		ac:     make([]float64, hidden),
+		hOut:   make([]float64, hidden),
+		dhCur:  make([]float64, hidden),
+		dhPrev: make([]float64, hidden),
+		da:     make([]float64, 2*hidden),
+		dac:    make([]float64, hidden),
+		drh:    make([]float64, hidden),
 	}
 	XavierInit(u.wx.W, in, hidden, g)
 	XavierInit(u.wh.W, hidden, hidden, g)
@@ -56,8 +72,9 @@ func (u *GRU) Params() []*Param {
 	return []*Param{u.wx, u.wh, u.b, u.wxc, u.whc, u.bc}
 }
 
-// Forward processes the sequence and returns a copy of the final hidden
-// state.
+// Forward processes the sequence and returns the final hidden state. The
+// returned slice is reused by the next Forward; copy it if it must survive
+// that call.
 func (u *GRU) Forward(xs [][]float64) []float64 {
 	if len(xs) == 0 {
 		panic("nn: GRU forward on empty sequence")
@@ -72,8 +89,7 @@ func (u *GRU) Forward(xs [][]float64) []float64 {
 	u.rhPrev = grow2d(u.rhPrev, T, H)
 	mathx.Fill(u.hs[0], 0)
 
-	a := make([]float64, 2*H)
-	ac := make([]float64, H)
+	a, ac := u.a, u.ac
 	for t := 0; t < T; t++ {
 		x := xs[t]
 		if len(x) != u.in {
@@ -100,7 +116,8 @@ func (u *GRU) Forward(xs [][]float64) []float64 {
 			h[j] = (1-z)*hPrev[j] + z*u.cand[t][j]
 		}
 	}
-	return mathx.Clone(u.hs[T])
+	copy(u.hOut, u.hs[T])
+	return u.hOut
 }
 
 // Backward runs BPTT given the gradient of the loss w.r.t. the final
@@ -112,12 +129,10 @@ func (u *GRU) Backward(dh []float64) [][]float64 {
 		panic(fmt.Sprintf("nn: GRU %s grad width %d, want %d", u.wx.Name, len(dh), H))
 	}
 	T := len(u.xs)
-	dxs := make([][]float64, T)
-	dhCur := mathx.Clone(dh)
-	dhPrev := make([]float64, H)
-	da := make([]float64, 2*H)
-	dac := make([]float64, H)
-	drh := make([]float64, H)
+	u.dxs = grow2d(u.dxs, T, u.in)
+	dxs := u.dxs
+	dhCur, dhPrev, da, dac, drh := u.dhCur, u.dhPrev, u.da, u.dac, u.drh
+	copy(dhCur, dh)
 	for t := T - 1; t >= 0; t-- {
 		x, hPrev := u.xs[t], u.hs[t]
 		for j := 0; j < H; j++ {
@@ -130,7 +145,8 @@ func (u *GRU) Backward(dh []float64) [][]float64 {
 			_ = r
 		}
 		// candidate path: dac -> wxc, whc, bc, drh, dx
-		dx := make([]float64, u.in)
+		dx := dxs[t]
+		mathx.Fill(dx, 0)
 		mathx.Fill(drh, 0)
 		for j := 0; j < H; j++ {
 			g := dac[j]
@@ -177,7 +193,6 @@ func (u *GRU) Backward(dh []float64) [][]float64 {
 			}
 			u.b.G[j] += g
 		}
-		dxs[t] = dx
 		copy(dhCur, dhPrev)
 	}
 	return dxs

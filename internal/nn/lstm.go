@@ -25,6 +25,14 @@ type LSTM struct {
 	hs, cs     [][]float64 // hs[0]/cs[0] are the zero initial state
 	ig, fg, gg [][]float64 // post-activation gates
 	og         [][]float64
+
+	// scratch reused across calls so the training hot path allocates
+	// nothing per step
+	a                 []float64   // gate pre-activations (Forward)
+	hOut              []float64   // copy of h_n returned by Forward
+	dxs               [][]float64 // per-step input gradients (Backward)
+	dhCur, dc, dhPrev []float64   // BPTT state (Backward)
+	da                []float64   // gate gradients (Backward)
 }
 
 // NewLSTM returns an LSTM with Xavier-initialized input and recurrent
@@ -37,6 +45,12 @@ func NewLSTM(name string, in, hidden int, g *mathx.RNG) *LSTM {
 		wx:     NewParam(name+".wx", 4*hidden*in),
 		wh:     NewParam(name+".wh", 4*hidden*hidden),
 		b:      NewParam(name+".b", 4*hidden),
+		a:      make([]float64, 4*hidden),
+		hOut:   make([]float64, hidden),
+		dhCur:  make([]float64, hidden),
+		dc:     make([]float64, hidden),
+		dhPrev: make([]float64, hidden),
+		da:     make([]float64, 4*hidden),
 	}
 	XavierInit(l.wx.W, in, hidden, g)
 	XavierInit(l.wh.W, hidden, hidden, g)
@@ -55,8 +69,10 @@ func (l *LSTM) Hidden() int { return l.hidden }
 // Params implements Layer.
 func (l *LSTM) Params() []*Param { return []*Param{l.wx, l.wh, l.b} }
 
-// Forward processes the sequence xs (each element length D) and returns a
-// copy of the final hidden state h_n. The sequence must be non-empty.
+// Forward processes the sequence xs (each element length D) and returns
+// the final hidden state h_n. The sequence must be non-empty. The returned
+// slice is reused by the next Forward; copy it if it must survive that
+// call.
 func (l *LSTM) Forward(xs [][]float64) []float64 {
 	if len(xs) == 0 {
 		panic("nn: LSTM forward on empty sequence")
@@ -73,7 +89,7 @@ func (l *LSTM) Forward(xs [][]float64) []float64 {
 	mathx.Fill(l.hs[0], 0)
 	mathx.Fill(l.cs[0], 0)
 
-	a := make([]float64, 4*H)
+	a := l.a
 	for t := 0; t < T; t++ {
 		x := xs[t]
 		if len(x) != l.in {
@@ -95,7 +111,8 @@ func (l *LSTM) Forward(xs [][]float64) []float64 {
 			h[j] = o * math.Tanh(c[j])
 		}
 	}
-	return mathx.Clone(l.hs[T])
+	copy(l.hOut, l.hs[T])
+	return l.hOut
 }
 
 // Backward runs backpropagation through time given dh, the gradient of the
@@ -107,11 +124,11 @@ func (l *LSTM) Backward(dh []float64) [][]float64 {
 		panic(fmt.Sprintf("nn: LSTM %s grad width %d, want %d", l.wx.Name, len(dh), H))
 	}
 	T := len(l.xs)
-	dxs := make([][]float64, T)
-	dhCur := mathx.Clone(dh)
-	dc := make([]float64, H)
-	da := make([]float64, 4*H)
-	dhPrev := make([]float64, H)
+	l.dxs = grow2d(l.dxs, T, l.in)
+	dxs := l.dxs
+	dhCur, dc, da, dhPrev := l.dhCur, l.dc, l.da, l.dhPrev
+	copy(dhCur, dh)
+	mathx.Fill(dc, 0)
 	for t := T - 1; t >= 0; t-- {
 		x, hPrev, cPrev, c := l.xs[t], l.hs[t], l.cs[t], l.cs[t+1]
 		for j := 0; j < H; j++ {
@@ -124,7 +141,8 @@ func (l *LSTM) Backward(dh []float64) [][]float64 {
 			da[3*H+j] = dhCur[j] * tc * o * (1 - o)
 			dc[j] = dcj * f
 		}
-		dx := make([]float64, l.in)
+		dx := dxs[t]
+		mathx.Fill(dx, 0)
 		mathx.Fill(dhPrev, 0)
 		for j := 0; j < 4*H; j++ {
 			g := da[j]
@@ -145,7 +163,6 @@ func (l *LSTM) Backward(dh []float64) [][]float64 {
 			}
 			l.b.G[j] += g
 		}
-		dxs[t] = dx
 		copy(dhCur, dhPrev)
 	}
 	return dxs

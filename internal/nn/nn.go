@@ -33,6 +33,16 @@ func (p *Param) ZeroGrad() {
 	}
 }
 
+// CopyFrom copies src's weights into p, leaving gradients untouched. The
+// two parameters must have the same shape.
+func (p *Param) CopyFrom(src *Param) {
+	if len(p.W) != len(src.W) {
+		panic(fmt.Sprintf("nn: CopyFrom %q: size %d, source %q has %d",
+			p.Name, len(p.W), src.Name, len(src.W)))
+	}
+	copy(p.W, src.W)
+}
+
 // Layer is the interface shared by every trainable component.
 type Layer interface {
 	// Params returns the learnable parameters (possibly none).
@@ -53,6 +63,55 @@ func NumParams(ps []*Param) int {
 		n += len(p.W)
 	}
 	return n
+}
+
+// CopyParams copies weights from src into dst pairwise, leaving dst's
+// gradients untouched. Both slices must come from structurally identical
+// models (same layer order and shapes), as produced by constructing two
+// models from the same configuration.
+func CopyParams(dst, src []*Param) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("nn: CopyParams: %d parameters, source has %d", len(dst), len(src)))
+	}
+	for i := range dst {
+		dst[i].CopyFrom(src[i])
+	}
+}
+
+// FlattenGrads concatenates the gradients of ps into buf in parameter
+// order, growing buf when needed, and returns the filled slice (length
+// NumParams(ps)). The data-parallel trainer uses it to flush one
+// micro-batch's replica gradients into a reduction slot.
+func FlattenGrads(buf []float64, ps []*Param) []float64 {
+	n := NumParams(ps)
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	buf = buf[:n]
+	off := 0
+	for _, p := range ps {
+		copy(buf[off:off+len(p.G)], p.G)
+		off += len(p.G)
+	}
+	return buf
+}
+
+// AddFlatGrads accumulates a gradient vector produced by FlattenGrads into
+// ps: ps[...].G[j] += buf[...]. Element order is the parameter order, so
+// repeated calls realize a reduction whose floating-point association is
+// fixed by the call sequence alone.
+func AddFlatGrads(ps []*Param, buf []float64) {
+	if n := NumParams(ps); len(buf) != n {
+		panic(fmt.Sprintf("nn: AddFlatGrads: buffer length %d, want %d", len(buf), n))
+	}
+	off := 0
+	for _, p := range ps {
+		g := p.G
+		for j := range g {
+			g[j] += buf[off+j]
+		}
+		off += len(g)
+	}
 }
 
 // CollectParams concatenates the parameters of several layers, checking for
