@@ -11,8 +11,10 @@
 //
 // Paper experiments: table1, table2, fig4 (one task), fig4all, fig5..fig10,
 // resources, loss. Extensions: ablation, drift, multi, geom, validity,
-// operate, tune, summary, parbench. "all" runs the paper set plus the
-// extensions.
+// operate, tune, summary, parbench, resilience. "all" runs the paper set
+// plus the extensions. resilience sweeps CI fault rates against the
+// resilient client (retry/backoff/circuit breaker + graceful degradation)
+// and writes the sweep to -resout as JSON.
 //
 // Experiments whose trials (or tasks, or sweep settings) are independent
 // run them on -parallelism concurrent workers; results are bit-identical at
@@ -31,9 +33,20 @@ import (
 	"eventhit/internal/harness"
 )
 
+func writeJSONFile(path string, v interface{}) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
 func main() {
 	var (
-		exp         = flag.String("exp", "", "experiment to run (table1, table2, fig4[all], fig5..fig10, resources, ablation, drift, multi, geom, validity, operate, tune, summary, loss, parbench, all)")
+		exp         = flag.String("exp", "", "experiment to run (table1, table2, fig4[all], fig5..fig10, resources, ablation, drift, multi, geom, validity, operate, tune, summary, loss, parbench, resilience, all)")
 		task        = flag.String("task", "TA1", "task for single-task experiments (fig4, resources, loss)")
 		trials      = flag.Int("trials", 3, "independent trials to average (the paper uses 10)")
 		seed        = flag.Int64("seed", 1, "base random seed")
@@ -42,6 +55,7 @@ func main() {
 		horizon     = flag.Int("horizon", 0, "override time horizon H (0 = dataset default)")
 		parallelism = flag.Int("parallelism", runtime.NumCPU(), "concurrent experiment cells (trials/tasks/settings); results are identical at any value")
 		benchOut    = flag.String("benchout", "BENCH_parallel.json", "output file for the parbench experiment")
+		resOut      = flag.String("resout", "BENCH_resilience.json", "output file for the resilience experiment")
 	)
 	flag.Parse()
 	if *exp == "" {
@@ -140,19 +154,22 @@ func main() {
 			}
 			_, err = harness.Resources(t, opt, *seed, os.Stdout)
 			return err
+		case "resilience":
+			res, err := harness.Resilience(*task, opt, harness.ResilienceRates(), *seed, os.Stdout)
+			if err != nil {
+				return err
+			}
+			if err := writeJSONFile(*resOut, res); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *resOut)
+			return nil
 		case "parbench":
 			res, err := harness.ParallelBench(opt, *seed, *parallelism, *trials, os.Stdout)
 			if err != nil {
 				return err
 			}
-			f, err := os.Create(*benchOut)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			enc := json.NewEncoder(f)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(res); err != nil {
+			if err := writeJSONFile(*benchOut, res); err != nil {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *benchOut)

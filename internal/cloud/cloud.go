@@ -42,6 +42,20 @@ type Detection struct {
 	Found []video.Interval
 }
 
+// Backend is the CI surface consumed by the resilient client and the
+// pipeline: a timed detect call plus the meters the cost accounting needs.
+// Both the raw *Service and the fault-injecting *Faulty implement it.
+type Backend interface {
+	// DetectTimed is Detect plus the request's simulated latency in
+	// milliseconds. The latency is reported even for failed requests (the
+	// time spent before the failure was observed).
+	DetectTimed(eventType int, win video.Interval) (Detection, float64, error)
+	// Usage returns the accumulated billing/processing meters.
+	Usage() Usage
+	// PerFrameMS exposes the nominal per-frame latency model.
+	PerFrameMS() float64
+}
+
 // Service is a simulated CI bound to a ground-truth stream. It is safe for
 // concurrent use.
 type Service struct {
@@ -125,6 +139,17 @@ func (s *Service) Detect(eventType int, win video.Interval) (Detection, error) {
 	s.busyMS += float64(n) * s.latency.PerFrameMS
 	s.mu.Unlock()
 	return det, nil
+}
+
+// DetectTimed implements Backend: Detect plus the request's simulated
+// latency (frames x PerFrameMS; zero when the request fails before
+// processing, as injected faults do).
+func (s *Service) DetectTimed(eventType int, win video.Interval) (Detection, float64, error) {
+	det, err := s.Detect(eventType, win)
+	if err != nil {
+		return det, 0, err
+	}
+	return det, float64(win.Len()) * s.latency.PerFrameMS, nil
 }
 
 // Usage is a snapshot of the CI meter.

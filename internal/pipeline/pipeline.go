@@ -8,6 +8,14 @@
 // reports (§VI.H: lightweight detectors ≈ 100 fps, EventHit inference sub-
 // millisecond-to-milliseconds, CI event models ≈ 25 fps), which yields the
 // end-to-end FPS of Figure 9 and the stage shares of Figure 10.
+//
+// CI calls go through a resilient client (internal/resilience): retries
+// with seeded-jitter backoff, per-request timeouts and a circuit breaker,
+// all on the same simulated clock as the stage accounting — failed
+// attempts and backoff waits are charged to the Figure-9 CI time. With
+// Costs.Degrade set, relays the CI cannot serve (breaker open or retries
+// exhausted) are recorded as deferred instead of failing the run, so the
+// marshaller keeps making EventHit-local decisions through an outage.
 package pipeline
 
 import (
@@ -16,6 +24,7 @@ import (
 	"eventhit/internal/cloud"
 	"eventhit/internal/dataset"
 	"eventhit/internal/metrics"
+	"eventhit/internal/resilience"
 	"eventhit/internal/strategy"
 	"eventhit/internal/video"
 )
@@ -38,8 +47,19 @@ type Costs struct {
 	// forward pass, Cox scan, ...).
 	PredictMS float64
 	// CIRetries is the number of times a failed CI request is retried
-	// before the run aborts (transient cloud outages); 0 means no retries.
+	// before the relay is abandoned (transient cloud outages); 0 means no
+	// retries. Ignored when Resilience is set.
 	CIRetries int
+	// Resilience, when non-nil, fully specifies the CI client's retry/
+	// backoff/timeout/breaker policy. Nil derives a policy from CIRetries
+	// (MaxAttempts = CIRetries+1) with the default backoff and breaker.
+	Resilience *resilience.Config
+	// Degrade enables graceful degradation: relays the resilient client
+	// cannot serve are recorded as deferred (Report.CIDeferred, the
+	// per-relay outcomes) and the run continues on EventHit-local
+	// decisions. When false, an unserved relay aborts the run with an
+	// error — the pre-resilience behaviour.
+	Degrade bool
 }
 
 // FeatureMSDefault is the per-frame cost of the YOLO-class detector used
@@ -88,7 +108,9 @@ type Report struct {
 	Horizons int
 	// Frames is the number of stream frames covered (Horizons * H).
 	Frames int
-	// ScanMS, PredictMS and CIMS are the simulated per-stage times.
+	// ScanMS, PredictMS and CIMS are the simulated per-stage times. CIMS
+	// includes failed attempts and backoff waits, not just the successful
+	// requests' processing time.
 	ScanMS, PredictMS, CIMS float64
 	// CIFrames is the number of frames relayed to the CI.
 	CIFrames int64
@@ -99,6 +121,18 @@ type Report struct {
 	// CIRetried counts CI requests that failed at least once and were
 	// retried successfully.
 	CIRetried int
+	// CIDeferred counts relays dropped by graceful degradation: the
+	// breaker was open or retries were exhausted while Costs.Degrade was
+	// set. Deferred relays never reach the CI, so their frames are neither
+	// billed nor detected — the recall accounting stays honest.
+	CIDeferred int
+	// CIFailedAttempts counts individual failed CI attempts; CIBackoffMS
+	// is the total simulated backoff wait between attempts. Both are
+	// already included in CIMS.
+	CIFailedAttempts int64
+	CIBackoffMS      float64
+	// BreakerTrips counts circuit-breaker closed->open transitions.
+	BreakerTrips int64
 }
 
 // TotalMS returns the simulated end-to-end processing time.
@@ -123,39 +157,58 @@ func (r Report) StageShares() (scan, predict, ci float64) {
 	return r.ScanMS / t, r.PredictMS / t, r.CIMS / t
 }
 
+// RelayOutcome records the fate of one relayed (horizon, event) decision.
+type RelayOutcome struct {
+	// Horizon indexes the returned records/predictions slices.
+	Horizon int
+	// Event is the event slot k within the task.
+	Event int
+	// Deferred reports that the relay never reached the CI (graceful
+	// degradation). Retried reports a success that needed retries.
+	Deferred bool
+	Retried  bool
+	// Detections is how many true event segments the CI returned.
+	Detections int
+}
+
 // Marshaller drives one strategy over a stream region.
 type Marshaller struct {
 	ex    dataset.Source
 	strat strategy.Strategy
-	ci    *cloud.Service
+	ci    cloud.Backend
+	res   *resilience.Client
+	clock *resilience.Clock
 	cfg   dataset.Config
 	costs Costs
 }
 
-// New assembles a marshaller.
-func New(ex dataset.Source, s strategy.Strategy, ci *cloud.Service, cfg dataset.Config, costs Costs) (*Marshaller, error) {
+// New assembles a marshaller. ci is any CI backend: the bare simulated
+// service, or a fault-injecting wrapper (cloud.Inject) for resilience
+// experiments.
+func New(ex dataset.Source, s strategy.Strategy, ci cloud.Backend, cfg dataset.Config, costs Costs) (*Marshaller, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if costs.Scan.FramesPerHorizon < 0 || costs.Scan.PerFrameMS < 0 || costs.PredictMS < 0 {
 		return nil, fmt.Errorf("pipeline: negative costs %+v", costs)
 	}
-	return &Marshaller{ex: ex, strat: s, ci: ci, cfg: cfg, costs: costs}, nil
-}
-
-// detectWithRetry calls the CI, retrying transient failures up to
-// Costs.CIRetries times.
-func (m *Marshaller) detectWithRetry(eventType int, win video.Interval) (cloud.Detection, bool, error) {
-	var lastErr error
-	for attempt := 0; attempt <= m.costs.CIRetries; attempt++ {
-		det, err := m.ci.Detect(eventType, win)
-		if err == nil {
-			return det, attempt > 0, nil
-		}
-		lastErr = err
+	if costs.CIRetries < 0 {
+		return nil, fmt.Errorf("pipeline: negative CIRetries %d", costs.CIRetries)
 	}
-	return cloud.Detection{}, false, fmt.Errorf("pipeline: CI failed after %d attempts: %w",
-		m.costs.CIRetries+1, lastErr)
+	var rcfg resilience.Config
+	if costs.Resilience != nil {
+		rcfg = *costs.Resilience
+	} else {
+		rcfg = resilience.DefaultConfig(0)
+		rcfg.MaxAttempts = costs.CIRetries + 1
+	}
+	clock := resilience.NewClock()
+	return &Marshaller{
+		ex: ex, strat: s, ci: ci,
+		res:   resilience.NewClient(ci, rcfg, clock),
+		clock: clock,
+		cfg:   cfg, costs: costs,
+	}, nil
 }
 
 // Run marshals the stream from the first admissible anchor at or after
@@ -163,6 +216,14 @@ func (m *Marshaller) detectWithRetry(eventType int, win video.Interval) (cloud.D
 // It returns the run report plus the per-horizon records and predictions
 // so callers can score accuracy with the metrics package.
 func (m *Marshaller) Run(start, end int) (Report, []dataset.Record, []metrics.Prediction, error) {
+	rep, recs, preds, _, err := m.RunDetailed(start, end)
+	return rep, recs, preds, err
+}
+
+// RunDetailed is Run plus the per-relay outcomes, so callers can score
+// recall on exactly the horizons whose relays reached the CI (deferred
+// relays deliver no frames and must not count as recalled).
+func (m *Marshaller) RunDetailed(start, end int) (Report, []dataset.Record, []metrics.Prediction, []RelayOutcome, error) {
 	if start < m.cfg.Window-1 {
 		start = m.cfg.Window - 1
 	}
@@ -172,36 +233,55 @@ func (m *Marshaller) Run(start, end int) (Report, []dataset.Record, []metrics.Pr
 	var rep Report
 	var recs []dataset.Record
 	var preds []metrics.Prediction
+	var outs []RelayOutcome
 	for t := start; t+m.cfg.Horizon <= end; t += m.cfg.Horizon {
 		rec, err := dataset.BuildRecord(m.ex, t, m.cfg)
 		if err != nil {
-			return Report{}, nil, nil, fmt.Errorf("pipeline: anchor %d: %w", t, err)
+			return Report{}, nil, nil, nil, fmt.Errorf("pipeline: anchor %d: %w", t, err)
 		}
 		pred := m.strat.Predict(rec)
 		rep.Horizons++
-		rep.ScanMS += float64(m.costs.Scan.FramesPerHorizon) * m.costs.Scan.PerFrameMS
+		scanMS := float64(m.costs.Scan.FramesPerHorizon) * m.costs.Scan.PerFrameMS
+		rep.ScanMS += scanMS
 		rep.PredictMS += m.costs.PredictMS
+		// Scan and predict advance the shared clock too, so breaker
+		// cooldowns elapse on the pipeline's timeline, not only during CI
+		// activity.
+		m.clock.Advance(scanMS + m.costs.PredictMS)
+		horizon := len(recs)
 		for k, occ := range pred.Occur {
 			if !occ {
 				continue
 			}
 			abs := video.Interval{Start: t + pred.OI[k].Start, End: t + pred.OI[k].End}
-			det, retried, err := m.detectWithRetry(m.ex.Events()[k], abs)
+			res, err := m.res.Detect(m.ex.Events()[k], abs)
+			out := RelayOutcome{Horizon: horizon, Event: k, Retried: res.Retried, Deferred: res.Deferred}
 			if err != nil {
-				return Report{}, nil, nil, fmt.Errorf("pipeline: CI call: %w", err)
+				if !m.costs.Degrade || !res.Deferred {
+					return Report{}, nil, nil, nil, fmt.Errorf("pipeline: CI call: %w", err)
+				}
+				rep.CIDeferred++
+				outs = append(outs, out)
+				continue
 			}
-			if retried {
+			if res.Retried {
 				rep.CIRetried++
 			}
-			rep.Detections += len(det.Found)
+			out.Detections = len(res.Det.Found)
+			rep.Detections += out.Detections
+			outs = append(outs, out)
 		}
 		recs = append(recs, rec)
 		preds = append(preds, pred)
 	}
+	st := m.res.Stats()
 	u := m.ci.Usage()
 	rep.Frames = rep.Horizons * m.cfg.Horizon
 	rep.CIFrames = u.Frames
-	rep.CIMS = u.BusyMS
+	rep.CIMS = st.BusyMS
 	rep.SpentUSD = u.SpentUSD
-	return rep, recs, preds, nil
+	rep.CIFailedAttempts = st.Failures
+	rep.CIBackoffMS = st.BackoffMS
+	rep.BreakerTrips = st.Trips
+	return rep, recs, preds, outs, nil
 }

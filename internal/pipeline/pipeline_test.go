@@ -3,6 +3,7 @@ package pipeline
 import (
 	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"eventhit/internal/cloud"
@@ -10,6 +11,7 @@ import (
 	"eventhit/internal/features"
 	"eventhit/internal/mathx"
 	"eventhit/internal/metrics"
+	"eventhit/internal/resilience"
 	"eventhit/internal/strategy"
 	"eventhit/internal/video"
 )
@@ -197,5 +199,133 @@ func TestRunSurfacesPersistentCIFailure(t *testing.T) {
 	}
 	if !errors.Is(err, cloud.ErrUnavailable) {
 		t.Fatalf("error does not wrap ErrUnavailable: %v", err)
+	}
+}
+
+// TestRunChargesFailedAttemptsAndBackoff is the regression test for the
+// Figure-9 accounting fix: failed CI attempts and the backoff waits between
+// attempts must be charged to the simulated CI time, not silently dropped.
+// With the fault layer's bookkeeping the relation is exact:
+//
+//	CIMS = successful processing (Usage().BusyMS)
+//	     + FailLatencyMS per failed attempt + total backoff.
+func TestRunChargesFailedAttemptsAndBackoff(t *testing.T) {
+	ex, ci, cfg := setup(t)
+	const failLat = 25.0
+	backend := cloud.Inject(ci, cloud.FaultPlan{Seed: 11, TransientRate: 0.3, FailLatencyMS: failLat})
+	costs := EventHitCosts(cfg.Window)
+	rcfg := resilience.DefaultConfig(7)
+	rcfg.Breaker.FailureThreshold = 0 // isolate retry accounting from the breaker
+	rcfg.TimeoutFactor = 0            // and from timeouts
+	costs.Resilience = &rcfg
+	costs.Degrade = true
+	m, err := New(ex, strategy.BF{Horizon: cfg.Horizon}, backend, cfg, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _, _, err := m.Run(0, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CIFailedAttempts == 0 || rep.CIBackoffMS == 0 {
+		t.Fatalf("fault plan injected nothing: %+v", rep)
+	}
+	want := ci.Usage().BusyMS + rep.CIBackoffMS + failLat*float64(rep.CIFailedAttempts)
+	if math.Abs(rep.CIMS-want) > 1e-6 {
+		t.Fatalf("CIMS = %v, want %v (failed attempts and backoff must be charged)", rep.CIMS, want)
+	}
+	// The old accounting charged only successful processing time; make sure
+	// the gap is material, not a rounding artifact.
+	if rep.CIMS <= ci.Usage().BusyMS {
+		t.Fatalf("CIMS %v does not exceed success-only time %v", rep.CIMS, ci.Usage().BusyMS)
+	}
+}
+
+// TestZeroFaultParity: wrapping the CI in a zero (inactive) FaultPlan and
+// the resilient client must not change a single bit of the run — report,
+// records and predictions all identical to the bare service.
+func TestZeroFaultParity(t *testing.T) {
+	exA, ciA, cfg := setup(t)
+	mA, _ := New(exA, strategy.Opt{}, ciA, cfg, EventHitCosts(cfg.Window))
+	repA, recsA, predsA, err := mA.Run(0, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exB, ciB, _ := setup(t)
+	costs := EventHitCosts(cfg.Window)
+	rcfg := resilience.DefaultConfig(99) // seed must not matter with no faults
+	costs.Resilience = &rcfg
+	costs.Degrade = true
+	mB, _ := New(exB, strategy.Opt{}, cloud.Inject(ciB, cloud.FaultPlan{}), cfg, costs)
+	repB, recsB, predsB, err := mB.Run(0, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(repA, repB) {
+		t.Fatalf("reports diverge:\n bare: %+v\nfault: %+v", repA, repB)
+	}
+	if !reflect.DeepEqual(recsA, recsB) || !reflect.DeepEqual(predsA, predsB) {
+		t.Fatal("records/predictions diverge under a zero fault plan")
+	}
+	if ciA.Usage() != ciB.Usage() {
+		t.Fatalf("usage diverges: %+v vs %+v", ciA.Usage(), ciB.Usage())
+	}
+}
+
+// TestDegradeContinuesThroughOutage: with Degrade set, a CI that never
+// answers defers every relay instead of aborting; nothing is billed and no
+// detection is claimed.
+func TestDegradeContinuesThroughOutage(t *testing.T) {
+	ex, ci, cfg := setup(t)
+	backend := cloud.Inject(ci, cloud.FaultPlan{Seed: 1, TransientRate: 1, FailLatencyMS: 10})
+	costs := EventHitCosts(cfg.Window)
+	costs.CIRetries = 1
+	costs.Degrade = true
+	m, _ := New(ex, strategy.Opt{}, backend, cfg, costs)
+	rep, recs, preds, outs, err := m.RunDetailed(0, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || len(preds) != len(recs) {
+		t.Fatalf("run did not proceed: %d recs, %d preds", len(recs), len(preds))
+	}
+	if rep.CIDeferred == 0 || rep.CIDeferred != len(outs) {
+		t.Fatalf("CIDeferred = %d, outcomes = %d", rep.CIDeferred, len(outs))
+	}
+	for _, o := range outs {
+		if !o.Deferred || o.Detections != 0 {
+			t.Fatalf("outcome %+v should be a zero-detection deferral", o)
+		}
+		if o.Horizon < 0 || o.Horizon >= len(preds) {
+			t.Fatalf("outcome horizon %d out of range", o.Horizon)
+		}
+		if !preds[o.Horizon].Occur[o.Event] {
+			t.Fatalf("outcome %+v does not match a relayed prediction", o)
+		}
+	}
+	if rep.SpentUSD != 0 || rep.CIFrames != 0 || rep.Detections != 0 {
+		t.Fatalf("deferred relays were billed or detected: %+v", rep)
+	}
+	if rep.BreakerTrips == 0 {
+		t.Fatal("a total outage should trip the breaker")
+	}
+	if rep.CIMS == 0 {
+		t.Fatal("failed attempts consumed no simulated time")
+	}
+}
+
+// TestNoDegradeAbortsOnExhaustion: same total outage without Degrade must
+// abort, preserving the pre-resilience contract.
+func TestNoDegradeAbortsOnExhaustion(t *testing.T) {
+	ex, ci, cfg := setup(t)
+	backend := cloud.Inject(ci, cloud.FaultPlan{Seed: 1, TransientRate: 1})
+	costs := EventHitCosts(cfg.Window)
+	m, _ := New(ex, strategy.Opt{}, backend, cfg, costs)
+	_, _, _, err := m.Run(0, 30000)
+	if err == nil {
+		t.Fatal("exhausted relay without Degrade must abort")
+	}
+	if !errors.Is(err, cloud.ErrUnavailable) {
+		t.Fatalf("error does not wrap the CI cause: %v", err)
 	}
 }

@@ -1,0 +1,118 @@
+package resilience
+
+import "testing"
+
+// breakerStep is one event applied to the breaker in a scenario: either a
+// request admission check at a given simulated time, or an attempt outcome.
+type breakerStep struct {
+	// op: "allow" (check admission at time nowMS, expect allowed),
+	// "success", "failure" (record outcome; failure at time nowMS).
+	op        string
+	nowMS     float64
+	allowed   bool  // expected Allow result (op == "allow")
+	wantState State // expected state after the step
+	wantTrips int64 // expected cumulative trip count after the step
+}
+
+func runBreakerScenario(t *testing.T, name string, cfg BreakerConfig, steps []breakerStep) {
+	t.Helper()
+	b := NewBreaker(cfg)
+	for i, s := range steps {
+		switch s.op {
+		case "allow":
+			if got := b.Allow(s.nowMS); got != s.allowed {
+				t.Fatalf("%s step %d: Allow(%v) = %v, want %v", name, i, s.nowMS, got, s.allowed)
+			}
+		case "success":
+			b.OnSuccess()
+		case "failure":
+			b.OnFailure(s.nowMS)
+		default:
+			t.Fatalf("%s step %d: bad op %q", name, i, s.op)
+		}
+		if b.State() != s.wantState {
+			t.Fatalf("%s step %d (%s): state %v, want %v", name, i, s.op, b.State(), s.wantState)
+		}
+		if b.Trips() != s.wantTrips {
+			t.Fatalf("%s step %d (%s): trips %d, want %d", name, i, s.op, b.Trips(), s.wantTrips)
+		}
+	}
+}
+
+// TestBreakerScenarios drives the full state machine through table-driven
+// event sequences on an explicit simulated clock — no sleeps anywhere.
+func TestBreakerScenarios(t *testing.T) {
+	cfg := BreakerConfig{FailureThreshold: 3, CooldownMS: 1000, ProbeSuccesses: 2}
+	scenarios := []struct {
+		name  string
+		steps []breakerStep
+	}{
+		{"closed-open-halfopen-closed", []breakerStep{
+			// Three consecutive failures trip the breaker at t=30.
+			{op: "allow", nowMS: 10, allowed: true, wantState: Closed},
+			{op: "failure", nowMS: 10, wantState: Closed},
+			{op: "failure", nowMS: 20, wantState: Closed},
+			{op: "failure", nowMS: 30, wantState: Open, wantTrips: 1},
+			// Rejected during the cooldown.
+			{op: "allow", nowMS: 500, allowed: false, wantState: Open, wantTrips: 1},
+			{op: "allow", nowMS: 1029, allowed: false, wantState: Open, wantTrips: 1},
+			// Cooldown elapsed at t=1030: admitted as a half-open probe.
+			{op: "allow", nowMS: 1030, allowed: true, wantState: HalfOpen, wantTrips: 1},
+			{op: "success", wantState: HalfOpen, wantTrips: 1},
+			// Second consecutive probe success closes the breaker.
+			{op: "allow", nowMS: 1040, allowed: true, wantState: HalfOpen, wantTrips: 1},
+			{op: "success", wantState: Closed, wantTrips: 1},
+			{op: "allow", nowMS: 1050, allowed: true, wantState: Closed, wantTrips: 1},
+		}},
+		{"probe-failure-reopens", []breakerStep{
+			{op: "failure", nowMS: 0, wantState: Closed},
+			{op: "failure", nowMS: 0, wantState: Closed},
+			{op: "failure", nowMS: 0, wantState: Open, wantTrips: 1},
+			{op: "allow", nowMS: 1000, allowed: true, wantState: HalfOpen, wantTrips: 1},
+			{op: "success", wantState: HalfOpen, wantTrips: 1},
+			// A failure mid-probing re-opens immediately (trip #2) and
+			// restarts the cooldown from the failure time.
+			{op: "failure", nowMS: 1010, wantState: Open, wantTrips: 2},
+			{op: "allow", nowMS: 1500, allowed: false, wantState: Open, wantTrips: 2},
+			{op: "allow", nowMS: 2010, allowed: true, wantState: HalfOpen, wantTrips: 2},
+			{op: "success", wantState: HalfOpen, wantTrips: 2},
+			{op: "success", wantState: Closed, wantTrips: 2},
+		}},
+		{"success-resets-failure-count", []breakerStep{
+			{op: "failure", nowMS: 0, wantState: Closed},
+			{op: "failure", nowMS: 1, wantState: Closed},
+			{op: "success", wantState: Closed},
+			// The streak restarted: two more failures don't trip...
+			{op: "failure", nowMS: 2, wantState: Closed},
+			{op: "failure", nowMS: 3, wantState: Closed},
+			// ...the third does.
+			{op: "failure", nowMS: 4, wantState: Open, wantTrips: 1},
+		}},
+	}
+	for _, sc := range scenarios {
+		runBreakerScenario(t, sc.name, cfg, sc.steps)
+	}
+}
+
+// TestBreakerDisabled: a non-positive threshold disables the breaker — it
+// never opens no matter how many failures it sees.
+func TestBreakerDisabled(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 0, CooldownMS: 1, ProbeSuccesses: 1})
+	for i := 0; i < 100; i++ {
+		if !b.Allow(float64(i)) {
+			t.Fatalf("disabled breaker rejected request %d", i)
+		}
+		b.OnFailure(float64(i))
+	}
+	if b.State() != Closed || b.Trips() != 0 {
+		t.Fatalf("disabled breaker state=%v trips=%d", b.State(), b.Trips())
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s, want := range map[State]string{Closed: "closed", Open: "open", HalfOpen: "half-open", State(99): "unknown"} {
+		if s.String() != want {
+			t.Fatalf("State(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Package resilience makes the cloud inference service (CI) survivable.
+// The paper treats the CI as an external, priced, per-frame dependency
+// (§I, §VI.G) — exactly the component that throttles, slows down and goes
+// away in production. This package provides the client-side defenses:
+// exponential backoff with seeded jitter, per-request timeout accounting,
+// and a circuit breaker with closed/open/half-open probing — all in
+// simulated milliseconds on a simulated clock, so every failure scenario
+// is reproducible bit-for-bit from a seed and testable without sleeping.
+package resilience
+
+// Clock is a simulated millisecond clock. The pipeline advances it for
+// scan/predict stages, the resilient client for CI attempts and backoff
+// waits; the breaker's cooldown elapses on the same timeline, so "wait 5
+// seconds before probing" costs five simulated seconds of pipeline time,
+// not wall clock. Not safe for concurrent use on its own; the Client
+// guards it with its own mutex.
+type Clock struct {
+	ms float64
+}
+
+// NewClock returns a clock at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// NowMS returns the current simulated time in milliseconds.
+func (c *Clock) NowMS() float64 { return c.ms }
+
+// Advance moves the clock forward by d milliseconds (negative d is
+// ignored).
+func (c *Clock) Advance(d float64) {
+	if d > 0 {
+		c.ms += d
+	}
+}

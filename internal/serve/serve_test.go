@@ -28,7 +28,7 @@ var (
 	fx   *Bundlewrap
 )
 
-func getBundle(t *testing.T) *Bundlewrap {
+func getBundle(t testing.TB) *Bundlewrap {
 	t.Helper()
 	once.Do(func() {
 		st := video.Generate(video.THUMOS(), mathx.NewRNG(1))

@@ -18,14 +18,25 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
 
+	"eventhit/internal/cloud"
 	"eventhit/internal/dataset"
+	"eventhit/internal/resilience"
 	"eventhit/internal/strategy"
 	"eventhit/internal/trace"
 	"eventhit/internal/video"
+)
+
+// Request hardening limits: a frames POST may not exceed MaxBodyBytes on
+// the wire or MaxFramesPerPush decoded frames. Oversized batches are a
+// client error (4xx), never an allocation blow-up.
+const (
+	MaxBodyBytes     = 8 << 20
+	MaxFramesPerPush = 4096
 )
 
 // Config parametrizes the server.
@@ -42,6 +53,18 @@ type Config struct {
 	// Trace, when non-nil, receives one audit entry per event decision
 	// (see internal/trace).
 	Trace *trace.Writer
+	// CI, when non-nil, makes the server relay decided frame ranges to the
+	// cloud itself through a resilient client (retries, backoff, circuit
+	// breaker — see internal/resilience) instead of leaving the relay to
+	// the caller. A relay the CI cannot serve marks the decision deferred;
+	// it never fails the predict request.
+	CI cloud.Backend
+	// CIEvents maps decision slot k to the CI's stream event type; nil
+	// uses the identity mapping. Only consulted when CI is set.
+	CIEvents []int
+	// Resilience overrides the CI client policy; nil uses
+	// resilience.DefaultConfig(0).
+	Resilience *resilience.Config
 }
 
 // Server is the HTTP marshalling service. Create with New; it implements
@@ -62,6 +85,13 @@ type Server struct {
 	frames    int64
 	predicts  int64
 	skipped   int64
+	relayedOK int64
+	deferred  int64
+
+	// relay is the resilient CI client (nil when Config.CI is unset). Its
+	// clock advances only with CI activity: breaker cooldowns elapse in
+	// simulated CI milliseconds.
+	relay *resilience.Client
 
 	mux *http.ServeMux
 }
@@ -79,12 +109,22 @@ func New(cfg Config) (*Server, error) {
 		cfg.DefaultCoverage <= 0 || cfg.DefaultCoverage > 1 {
 		return nil, fmt.Errorf("serve: default knobs must be in (0,1]")
 	}
+	if cfg.CIEvents != nil && len(cfg.CIEvents) != mc.NumEvents {
+		return nil, fmt.Errorf("serve: %d CI event mappings for %d events", len(cfg.CIEvents), mc.NumEvents)
+	}
 	s := &Server{
 		cfg:     cfg,
 		window:  mc.Window,
 		horizon: mc.Horizon,
 		k:       mc.NumEvents,
 		mux:     http.NewServeMux(),
+	}
+	if cfg.CI != nil {
+		rcfg := resilience.DefaultConfig(0)
+		if cfg.Resilience != nil {
+			rcfg = *cfg.Resilience
+		}
+		s.relay = resilience.NewClient(cfg.CI, rcfg, nil)
 	}
 	s.mux.HandleFunc("POST /v1/frames", s.handleFrames)
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
@@ -122,13 +162,22 @@ type FramesResponse struct {
 }
 
 func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
 	var req FramesRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		code := http.StatusBadRequest
+		if _, ok := err.(*http.MaxBytesError); ok {
+			code = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, code, "invalid JSON: %v", err)
 		return
 	}
 	if len(req.Frames) == 0 {
 		httpError(w, http.StatusBadRequest, "no frames")
+		return
+	}
+	if len(req.Frames) > MaxFramesPerPush {
+		httpError(w, http.StatusRequestEntityTooLarge, "batch of %d frames exceeds limit %d", len(req.Frames), MaxFramesPerPush)
 		return
 	}
 	d := s.cfg.Bundle.Model.Config().InputDim
@@ -136,6 +185,12 @@ func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {
 		if len(f) != d {
 			httpError(w, http.StatusBadRequest, "frame %d has %d channels, model expects %d", i, len(f), d)
 			return
+		}
+		for j, v := range f {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				httpError(w, http.StatusBadRequest, "frame %d channel %d is not finite", i, j)
+				return
+			}
 		}
 	}
 	s.mu.Lock()
@@ -161,6 +216,13 @@ type Decision struct {
 	// (inclusive); zero when Relay is false.
 	Start int `json:"start,omitempty"`
 	End   int `json:"end,omitempty"`
+	// Deferred reports that the server-side CI relay could not be served
+	// (circuit open or retries exhausted); the decision stands but no
+	// frames reached the cloud. Only set when the server owns the relay.
+	Deferred bool `json:"deferred,omitempty"`
+	// Detections is the number of true event segments the CI returned for
+	// a served relay. Only set when the server owns the relay.
+	Detections int `json:"detections,omitempty"`
 }
 
 // PredictResponse is the POST /v1/predict body.
@@ -174,9 +236,12 @@ type PredictResponse struct {
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	conf, cov := s.cfg.DefaultConfidence, s.cfg.DefaultCoverage
+	// Knob validation uses the positive form !(f > 0 && f <= 1): NaN fails
+	// every comparison, so "confidence=NaN" (which ParseFloat accepts) is
+	// rejected rather than slipping through a `f <= 0 || f > 1` check.
 	if v := r.URL.Query().Get("confidence"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)
-		if err != nil || f <= 0 || f > 1 {
+		if err != nil || !(f > 0 && f <= 1) {
 			httpError(w, http.StatusBadRequest, "invalid confidence %q", v)
 			return
 		}
@@ -184,7 +249,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	if v := r.URL.Query().Get("coverage"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)
-		if err != nil || f <= 0 || f > 1 {
+		if err != nil || !(f > 0 && f <= 1) {
 			httpError(w, http.StatusBadRequest, "invalid coverage %q", v)
 			return
 		}
@@ -206,7 +271,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	pred := s.cfg.Bundle.EHCR(conf, cov).Predict(dataset.Record{X: x, Label: make([]bool, s.k)})
 	s.predictMu.Unlock()
 	resp := PredictResponse{Anchor: anchor, HorizonEnd: anchor + s.horizon}
-	var relays, frames int64
+	var relays, frames, relayedOK, deferred int64
 	skipped := int64(0)
 	for k := 0; k < s.k; k++ {
 		d := Decision{Event: s.cfg.EventNames[k]}
@@ -216,6 +281,22 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			d.Start, d.End = abs.Start, abs.End
 			relays++
 			frames += int64(abs.Len())
+			if s.relay != nil {
+				et := k
+				if s.cfg.CIEvents != nil {
+					et = s.cfg.CIEvents[k]
+				}
+				res, err := s.relay.Detect(et, abs)
+				if err != nil {
+					// Graceful degradation: the decision is served to the
+					// caller regardless; the relay is recorded as deferred.
+					d.Deferred = true
+					deferred++
+				} else {
+					d.Detections = len(res.Det.Found)
+					relayedOK++
+				}
+			}
 		} else {
 			skipped++
 		}
@@ -237,11 +318,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.relays += relays
 	s.frames += frames
 	s.skipped += skipped
+	s.relayedOK += relayedOK
+	s.deferred += deferred
 	s.mu.Unlock()
 	writeJSON(w, resp)
 }
 
-// Stats is the GET /v1/stats body.
+// Stats is the GET /v1/stats body. The CI* and breaker fields are only
+// populated when the server owns the relay (Config.CI set).
 type Stats struct {
 	FramesIngested  int     `json:"framesIngested"`
 	Predictions     int64   `json:"predictions"`
@@ -250,6 +334,16 @@ type Stats struct {
 	FramesToCloud   int64   `json:"framesToCloud"`
 	EstimatedUSD    float64 `json:"estimatedUSD"`
 	BruteForceUSD   float64 `json:"bruteForceUSD"`
+	// Server-side relay health (zero values when the caller relays).
+	RelayedOK        int64   `json:"relayedOK,omitempty"`
+	DeferredRelays   int64   `json:"deferredRelays,omitempty"`
+	CIFailedAttempts int64   `json:"ciFailedAttempts,omitempty"`
+	CIRetried        int64   `json:"ciRetried,omitempty"`
+	CIBackoffMS      float64 `json:"ciBackoffMS,omitempty"`
+	CIBusyMS         float64 `json:"ciBusyMS,omitempty"`
+	CISpentUSD       float64 `json:"ciSpentUSD,omitempty"`
+	BreakerTrips     int64   `json:"breakerTrips,omitempty"`
+	BreakerState     string  `json:"breakerState,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -262,7 +356,19 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		FramesToCloud:   s.frames,
 		EstimatedUSD:    float64(s.frames) * s.cfg.PerFrameUSD,
 		BruteForceUSD:   float64(s.predicts) * float64(s.horizon) * float64(s.k) * s.cfg.PerFrameUSD,
+		RelayedOK:       s.relayedOK,
+		DeferredRelays:  s.deferred,
 	}
 	s.mu.Unlock()
+	if s.relay != nil {
+		rs := s.relay.Stats()
+		st.CIFailedAttempts = rs.Failures
+		st.CIRetried = rs.Retries
+		st.CIBackoffMS = rs.BackoffMS
+		st.CIBusyMS = rs.BusyMS
+		st.CISpentUSD = s.cfg.CI.Usage().SpentUSD
+		st.BreakerTrips = rs.Trips
+		st.BreakerState = s.relay.BreakerState().String()
+	}
 	writeJSON(w, st)
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# check.sh — the full local CI gate. Run from the repository root.
+#
+#   vet        static analysis
+#   build      every package compiles
+#   race tests the whole suite under the race detector
+#   fuzz seeds the checked-in fuzz corpus (testdata/fuzz/) executed as
+#              ordinary tests, no fuzzing engine; use
+#              `go test ./internal/serve/ -fuzz FuzzFrames` to explore
+set -eu
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== fuzz seed corpus (run mode) =="
+go test ./internal/serve/ -run 'Fuzz' -count=1
+
+echo "OK"
