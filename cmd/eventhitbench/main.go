@@ -56,6 +56,7 @@ func main() {
 		parallelism = flag.Int("parallelism", runtime.NumCPU(), "concurrent experiment cells (trials/tasks/settings); results are identical at any value")
 		benchOut    = flag.String("benchout", "BENCH_parallel.json", "output file for the parbench experiment")
 		resOut      = flag.String("resout", "BENCH_resilience.json", "output file for the resilience experiment")
+		metricsOut  = flag.String("metricsout", "", "after all experiments, dump the process metrics registry (Prometheus text) to this file")
 	)
 	flag.Parse()
 	if *exp == "" {
@@ -195,5 +196,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "eventhitbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err == nil {
+			err = harness.DumpMetrics(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eventhitbench: metricsout: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsOut)
 	}
 }

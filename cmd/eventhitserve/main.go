@@ -37,6 +37,7 @@ func main() {
 		coverage   = flag.Float64("coverage", 0.9, "default C-REGRESS coverage")
 		seed       = flag.Int64("seed", 1, "random seed for on-the-fly training")
 		tracePath  = flag.String("trace", "", "append a JSON-lines decision audit trail to this file")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (trusted listeners only)")
 	)
 	flag.Parse()
 
@@ -78,6 +79,7 @@ func main() {
 		PerFrameUSD:       cloud.RekognitionPricing().PerFrameUSD,
 		DefaultConfidence: *confidence,
 		DefaultCoverage:   *coverage,
+		EnablePprof:       *pprofOn,
 	}
 	if *tracePath != "" {
 		tf, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -95,6 +97,10 @@ func main() {
 	mc := bundle.Model.Config()
 	log.Printf("serving %s on %s (M=%d H=%d D=%d, defaults c=%.2f alpha=%.2f)",
 		t.Name, *addr, mc.Window, mc.Horizon, mc.InputDim, *confidence, *coverage)
+	log.Printf("metrics at GET /metrics (Prometheus text format)")
+	if *pprofOn {
+		log.Printf("pprof at GET /debug/pprof/")
+	}
 	fatal(http.ListenAndServe(*addr, srv))
 }
 

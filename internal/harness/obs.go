@@ -1,0 +1,17 @@
+package harness
+
+import (
+	"io"
+
+	"eventhit/internal/obs"
+)
+
+// DumpMetrics writes the process-wide metrics registry in Prometheus text
+// format. Experiment cells that do not pass their own registry (every
+// pipeline built with zero-value Costs.Metrics) record into obs.Default(),
+// so after a bench run this is the cross-experiment roll-up: stage time
+// histograms, horizons, CI frames/spend/failures. The dump is a read-only
+// snapshot — taking it cannot perturb any seeded result.
+func DumpMetrics(w io.Writer) error {
+	return obs.Default().WriteText(w)
+}

@@ -1,0 +1,29 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"eventhit/internal/obs"
+)
+
+// TestDumpMetricsWellFormed: the roll-up dump is error-free, carries what
+// the process recorded, and is a pure read — two consecutive dumps of an
+// unchanged registry are byte-identical.
+func TestDumpMetricsWellFormed(t *testing.T) {
+	obs.Default().Counter("eventhit_harness_dump_probe_total", "dump test probe", nil).Inc()
+	var a, b bytes.Buffer
+	if err := DumpMetrics(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := DumpMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.String(), "eventhit_harness_dump_probe_total") {
+		t.Fatalf("probe family missing:\n%s", a.String())
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two dumps of an unchanged registry differ")
+	}
+}

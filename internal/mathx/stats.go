@@ -14,7 +14,20 @@ func Mean(x []float64) float64 {
 	return Sum(x) / float64(len(x))
 }
 
-// Std returns the population standard deviation of x, or 0 when len(x) < 2.
+// Std returns the population standard deviation of x (divisor n, not the
+// sample n-1), or 0 when len(x) < 2.
+//
+// The divisor is a deliberate, load-bearing choice. Table I reports the
+// duration std of each real dataset's event instances, and the stream
+// generator treats that number as the *distribution* parameter of its
+// truncated-normal duration model — a population quantity. At Table I's
+// instance counts (hundreds to thousands per event type) the n vs n-1
+// correction is under 1%, far inside the generator's calibration
+// tolerance (TestGenerateStdRoughlyMatches accepts [80,220] for a target
+// of 158.8), so either divisor would calibrate identically; what must NOT
+// happen is the divisor changing silently, because Std also standardizes
+// Cox covariates (strategy/cox.go) where a switch would perturb every
+// fitted baseline. TestStdUsesPopulationDivisor pins the n divisor.
 func Std(x []float64) float64 {
 	if len(x) < 2 {
 		return 0
@@ -46,8 +59,12 @@ func CeilQuantile(x []float64, alpha float64) float64 {
 }
 
 // Histogram counts values of x into nbins equal-width bins over [lo, hi].
-// Values outside the range are clamped into the end bins. It panics when
-// nbins <= 0 or hi <= lo.
+// Values outside the range are clamped into the end bins: v <= lo (and
+// -Inf) counts in bin 0, v >= hi (and +Inf) in bin nbins-1 — so a value
+// exactly at hi lands in the last bin, not past it. NaN values are
+// dropped: the previous int((v-lo)/w) conversion sent NaN to a
+// platform-dependent bin; a NaN input is an upstream bug and must not
+// silently skew a bin. It panics when nbins <= 0 or hi <= lo.
 func Histogram(x []float64, lo, hi float64, nbins int) []int {
 	if nbins <= 0 {
 		panic("mathx: Histogram nbins must be positive")
@@ -58,8 +75,17 @@ func Histogram(x []float64, lo, hi float64, nbins int) []int {
 	counts := make([]int, nbins)
 	w := (hi - lo) / float64(nbins)
 	for _, v := range x {
-		b := int((v - lo) / w)
-		b = ClampInt(b, 0, nbins-1)
+		var b int
+		switch {
+		case math.IsNaN(v):
+			continue
+		case v <= lo:
+			b = 0
+		case v >= hi:
+			b = nbins - 1
+		default:
+			b = ClampInt(int((v-lo)/w), 0, nbins-1)
+		}
 		counts[b]++
 	}
 	return counts

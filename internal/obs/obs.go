@@ -1,0 +1,166 @@
+// Package obs is the runtime observability layer: a stdlib-only, race-safe
+// metrics registry with Prometheus text-format exposition. Where
+// internal/trace is the offline audit trail (what was decided, replayable
+// after the fact), obs is the live signal an operator scrapes while the
+// system runs: how many requests, where the simulated milliseconds go per
+// pipeline stage, what the circuit breaker is doing, what the CI bill is.
+//
+// Three metric kinds, mirroring the Prometheus data model:
+//
+//   - Counter: a monotonically increasing float64 (requests served, frames
+//     billed, backoff milliseconds waited).
+//   - Gauge: a float64 that can go up and down (breaker state, estimated
+//     spend).
+//   - Histogram: observations counted into fixed cumulative buckets plus a
+//     running sum and count (per-stage simulated ms, request latencies).
+//
+// All primitives are updated with atomic operations only — no locks on the
+// hot path — so instrumenting a goroutine-parallel experiment cell or a
+// concurrent HTTP handler is race-free by construction. Instrumentation is
+// also determinism-neutral by construction: metrics observe values the
+// system already computed; they never draw randomness, never touch the
+// simulated clock, and never feed back into a decision. The golden BENCH
+// files and every seeded experiment output are byte-identical with metrics
+// enabled (pinned by the pipeline/harness determinism tests).
+//
+// Metrics are created through a Registry (get-or-create, keyed by name +
+// label set) and exposed with WriteText / Handler. A process-wide Default
+// registry serves code without an obvious injection point (the pipeline's
+// stage histograms); servers own private registries so concurrent test
+// servers do not share counters.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// atomicFloat is a float64 updated via CAS on its bit pattern.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(d float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + d)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use, but counters should be obtained from a Registry so they are
+// exposed. Negative and NaN increments are ignored (a counter never goes
+// down, and NaN would poison the total).
+type Counter struct {
+	v atomicFloat
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.add(1) }
+
+// Add adds d; d <= 0 or NaN is ignored except that 0 is a no-op by
+// arithmetic anyway.
+func (c *Counter) Add(d float64) {
+	if d < 0 || math.IsNaN(d) {
+		return
+	}
+	c.v.add(d)
+}
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return c.v.load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomicFloat
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v.store(v) }
+
+// Add adds d (may be negative).
+func (g *Gauge) Add(d float64) { g.v.add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.load() }
+
+// Histogram counts observations into fixed cumulative buckets. Bounds are
+// upper bounds (Prometheus `le` semantics: an observation lands in the
+// first bucket whose bound is >= the value); an implicit +Inf bucket
+// catches everything above the last bound. NaN observations are dropped,
+// matching mathx.Histogram's pinned edge semantics — a NaN input is a bug
+// upstream and must not poison the sum.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count  atomic.Uint64
+	sum    atomicFloat
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	// First bound >= v, by binary search; len(bounds) selects +Inf.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// MSBuckets is the default bucket layout for simulated-millisecond
+// histograms: the pipeline's stage times span sub-millisecond EventHit
+// inference to multi-minute CI relays, so the bounds are exponential.
+func MSBuckets() []float64 {
+	return []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000}
+}
+
+// SecondsBuckets is the default bucket layout for wall-clock request
+// latencies in seconds.
+func SecondsBuckets() []float64 {
+	return []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at
+// start, each factor times the previous. It panics when start <= 0,
+// factor <= 1 or n < 1.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}

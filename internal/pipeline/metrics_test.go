@@ -1,0 +1,66 @@
+package pipeline
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"eventhit/internal/obs"
+	"eventhit/internal/strategy"
+)
+
+// runSeeded performs one fixed seeded BF run recording into reg and
+// returns everything observable about it.
+func runSeeded(t *testing.T, reg *obs.Registry) (Report, string) {
+	t.Helper()
+	ex, ci, cfg := setup(t)
+	costs := EventHitCosts(cfg.Window)
+	costs.Metrics = reg
+	m, err := New(ex, strategy.BF{Horizon: cfg.Horizon}, ci, cfg, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _, preds, err := m.Run(0, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) == 0 {
+		t.Fatal("empty run")
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return rep, buf.String()
+}
+
+// TestMetricsDeterminismNeutral is the instrumentation contract: two
+// identical seeded runs recording into independent registries produce (a)
+// identical reports — observing cannot perturb the run — and (b)
+// byte-identical expositions — the run fully determines the metrics.
+func TestMetricsDeterminismNeutral(t *testing.T) {
+	regA, regB := obs.NewRegistry(), obs.NewRegistry()
+	repA, expoA := runSeeded(t, regA)
+	repB, expoB := runSeeded(t, regB)
+	if !reflect.DeepEqual(repA, repB) {
+		t.Fatalf("instrumented runs diverged:\n%+v\n%+v", repA, repB)
+	}
+	if expoA != expoB {
+		t.Fatalf("expositions differ:\n--- A ---\n%s\n--- B ---\n%s", expoA, expoB)
+	}
+	// The run must actually have been recorded, for every stage.
+	for _, stage := range []string{"scan", "predict", "relay"} {
+		if !strings.Contains(expoA, `eventhit_pipeline_stage_ms_count{stage="`+stage+`"}`) {
+			t.Errorf("stage %q not recorded:\n%s", stage, expoA)
+		}
+	}
+	scanCount := regA.Histogram("eventhit_pipeline_stage_ms", "", obs.MSBuckets(), obs.Labels{"stage": "scan"}).Count()
+	if scanCount != uint64(repA.Horizons) {
+		t.Fatalf("scan observations = %d, want one per horizon (%d)", scanCount, repA.Horizons)
+	}
+	if !strings.Contains(expoA, "eventhit_pipeline_ci_frames_total") ||
+		!strings.Contains(expoA, "eventhit_pipeline_horizons_total") {
+		t.Errorf("run counters missing:\n%s", expoA)
+	}
+}

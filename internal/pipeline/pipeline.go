@@ -24,6 +24,7 @@ import (
 	"eventhit/internal/cloud"
 	"eventhit/internal/dataset"
 	"eventhit/internal/metrics"
+	"eventhit/internal/obs"
 	"eventhit/internal/resilience"
 	"eventhit/internal/strategy"
 	"eventhit/internal/video"
@@ -60,6 +61,11 @@ type Costs struct {
 	// decisions. When false, an unserved relay aborts the run with an
 	// error — the pre-resilience behaviour.
 	Degrade bool
+	// Metrics receives per-stage histograms and run counters; nil uses the
+	// process-wide obs.Default() registry. The observations are simulated
+	// milliseconds the run already computed — recording them touches no RNG
+	// and no clock, so instrumented and bare runs are byte-identical.
+	Metrics *obs.Registry
 }
 
 // FeatureMSDefault is the per-frame cost of the YOLO-class detector used
@@ -180,6 +186,12 @@ type Marshaller struct {
 	clock *resilience.Clock
 	cfg   dataset.Config
 	costs Costs
+
+	// Stage histograms and run counters (see Costs.Metrics). The stage label
+	// matches Figure 10's decomposition: scan, predict, relay.
+	scanH, predictH, relayH        *obs.Histogram
+	horizonsC, deferredC           *obs.Counter
+	ciFramesC, ciSpentC, ciFailedC *obs.Counter
 }
 
 // New assembles a marshaller. ci is any CI backend: the bare simulated
@@ -203,11 +215,33 @@ func New(ex dataset.Source, s strategy.Strategy, ci cloud.Backend, cfg dataset.C
 		rcfg.MaxAttempts = costs.CIRetries + 1
 	}
 	clock := resilience.NewClock()
+	reg := costs.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	stageH := func(stage string) *obs.Histogram {
+		return reg.Histogram("eventhit_pipeline_stage_ms",
+			"simulated per-stage time per horizon (relay: per CI call)",
+			obs.MSBuckets(), obs.Labels{"stage": stage})
+	}
 	return &Marshaller{
 		ex: ex, strat: s, ci: ci,
 		res:   resilience.NewClient(ci, rcfg, clock),
 		clock: clock,
 		cfg:   cfg, costs: costs,
+		scanH:    stageH("scan"),
+		predictH: stageH("predict"),
+		relayH:   stageH("relay"),
+		horizonsC: reg.Counter("eventhit_pipeline_horizons_total",
+			"prediction steps taken", nil),
+		deferredC: reg.Counter("eventhit_pipeline_deferred_relays_total",
+			"relays dropped by graceful degradation", nil),
+		ciFramesC: reg.Counter("eventhit_pipeline_ci_frames_total",
+			"frames relayed to and billed by the CI", nil),
+		ciSpentC: reg.Counter("eventhit_pipeline_ci_spent_usd_total",
+			"CI bill accrued by pipeline runs", nil),
+		ciFailedC: reg.Counter("eventhit_pipeline_ci_failed_attempts_total",
+			"failed CI attempts during pipeline runs", nil),
 	}, nil
 }
 
@@ -234,6 +268,10 @@ func (m *Marshaller) RunDetailed(start, end int) (Report, []dataset.Record, []me
 	var recs []dataset.Record
 	var preds []metrics.Prediction
 	var outs []RelayOutcome
+	// Baselines for the run counters: the client and CI meters are
+	// cumulative across runs of the same backend, the counters must only
+	// receive this run's delta.
+	st0, u0 := m.res.Stats(), m.ci.Usage()
 	for t := start; t+m.cfg.Horizon <= end; t += m.cfg.Horizon {
 		rec, err := dataset.BuildRecord(m.ex, t, m.cfg)
 		if err != nil {
@@ -244,6 +282,8 @@ func (m *Marshaller) RunDetailed(start, end int) (Report, []dataset.Record, []me
 		scanMS := float64(m.costs.Scan.FramesPerHorizon) * m.costs.Scan.PerFrameMS
 		rep.ScanMS += scanMS
 		rep.PredictMS += m.costs.PredictMS
+		m.scanH.Observe(scanMS)
+		m.predictH.Observe(m.costs.PredictMS)
 		// Scan and predict advance the shared clock too, so breaker
 		// cooldowns elapse on the pipeline's timeline, not only during CI
 		// activity.
@@ -255,6 +295,9 @@ func (m *Marshaller) RunDetailed(start, end int) (Report, []dataset.Record, []me
 			}
 			abs := video.Interval{Start: t + pred.OI[k].Start, End: t + pred.OI[k].End}
 			res, err := m.res.Detect(m.ex.Events()[k], abs)
+			// Deferred calls consumed simulated time too (failed attempts,
+			// backoff); the relay histogram records both outcomes.
+			m.relayH.Observe(res.ElapsedMS)
 			out := RelayOutcome{Horizon: horizon, Event: k, Retried: res.Retried, Deferred: res.Deferred}
 			if err != nil {
 				if !m.costs.Degrade || !res.Deferred {
@@ -283,5 +326,10 @@ func (m *Marshaller) RunDetailed(start, end int) (Report, []dataset.Record, []me
 	rep.CIFailedAttempts = st.Failures
 	rep.CIBackoffMS = st.BackoffMS
 	rep.BreakerTrips = st.Trips
+	m.horizonsC.Add(float64(rep.Horizons))
+	m.deferredC.Add(float64(rep.CIDeferred))
+	m.ciFramesC.Add(float64(u.Frames - u0.Frames))
+	m.ciSpentC.Add(u.SpentUSD - u0.SpentUSD)
+	m.ciFailedC.Add(float64(st.Failures - st0.Failures))
 	return rep, recs, preds, outs, nil
 }

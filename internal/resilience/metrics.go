@@ -1,0 +1,43 @@
+package resilience
+
+import "eventhit/internal/obs"
+
+// Register exposes the client's cumulative counters and breaker state in
+// r. The series are func-backed: each scrape snapshots Stats() under the
+// client's own lock, so the exposition never races the hot path and costs
+// nothing between scrapes — instrumentation stays determinism-neutral.
+//
+// Families (all simulated milliseconds where applicable):
+//
+//	eventhit_resilience_requests_total         Detect calls
+//	eventhit_resilience_attempts_total         backend calls actually made
+//	eventhit_resilience_failed_attempts_total  failed attempts
+//	eventhit_resilience_retries_total          requests retried to success
+//	eventhit_resilience_timeouts_total         attempts abandoned at the cap
+//	eventhit_resilience_deferred_total         requests lost to degradation
+//	eventhit_resilience_backoff_ms_total       wait between attempts
+//	eventhit_resilience_busy_ms_total          total simulated CI time
+//	eventhit_resilience_breaker_trips_total    breaker closed->open transitions
+//	eventhit_resilience_breaker_state          0 closed, 1 open, 2 half-open
+func (c *Client) Register(r *obs.Registry, labels obs.Labels) {
+	counters := []struct {
+		name, help string
+		get        func(Stats) float64
+	}{
+		{"eventhit_resilience_requests_total", "resilient Detect calls", func(s Stats) float64 { return float64(s.Requests) }},
+		{"eventhit_resilience_attempts_total", "backend attempts made", func(s Stats) float64 { return float64(s.Attempts) }},
+		{"eventhit_resilience_failed_attempts_total", "failed backend attempts", func(s Stats) float64 { return float64(s.Failures) }},
+		{"eventhit_resilience_retries_total", "requests that failed then succeeded", func(s Stats) float64 { return float64(s.Retries) }},
+		{"eventhit_resilience_timeouts_total", "attempts abandoned at the latency cap", func(s Stats) float64 { return float64(s.Timeouts) }},
+		{"eventhit_resilience_deferred_total", "requests lost to graceful degradation", func(s Stats) float64 { return float64(s.Deferred) }},
+		{"eventhit_resilience_backoff_ms_total", "simulated backoff wait between attempts", func(s Stats) float64 { return s.BackoffMS }},
+		{"eventhit_resilience_busy_ms_total", "total simulated CI time consumed", func(s Stats) float64 { return s.BusyMS }},
+		{"eventhit_resilience_breaker_trips_total", "circuit breaker closed->open transitions", func(s Stats) float64 { return float64(s.Trips) }},
+	}
+	for _, m := range counters {
+		get := m.get
+		r.CounterFunc(m.name, m.help, labels, func() float64 { return get(c.Stats()) })
+	}
+	r.GaugeFunc("eventhit_resilience_breaker_state", "circuit breaker state: 0 closed, 1 open, 2 half-open",
+		labels, func() float64 { return float64(c.BreakerState()) })
+}

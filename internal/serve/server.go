@@ -13,6 +13,8 @@
 //	POST /v1/predict  ?confidence=0.9&coverage=0.9    -> per-event decisions
 //	GET  /v1/stats                                    -> counters incl. estimated spend
 //	GET  /v1/healthz                                  -> 200 "ok"
+//	GET  /metrics                                     -> Prometheus text exposition
+//	GET  /debug/pprof/*                               -> profiling (Config.EnablePprof)
 package serve
 
 import (
@@ -20,11 +22,14 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
+	"time"
 
 	"eventhit/internal/cloud"
 	"eventhit/internal/dataset"
+	"eventhit/internal/obs"
 	"eventhit/internal/resilience"
 	"eventhit/internal/strategy"
 	"eventhit/internal/trace"
@@ -65,6 +70,10 @@ type Config struct {
 	// Resilience overrides the CI client policy; nil uses
 	// resilience.DefaultConfig(0).
 	Resilience *resilience.Config
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/*. Off by
+	// default: profiling endpoints expose goroutine stacks and should only
+	// be reachable on operator-trusted listeners.
+	EnablePprof bool
 }
 
 // Server is the HTTP marshalling service. Create with New; it implements
@@ -88,12 +97,40 @@ type Server struct {
 	relayedOK int64
 	deferred  int64
 
+	// relaySnap is the committed relay/CI view, guarded by mu. handlePredict
+	// refreshes it in the same critical section that commits the request's
+	// counters, so /v1/stats (and the func-backed metrics) always see server
+	// counters and CI health from one consistent instant instead of tearing
+	// across three independent locks.
+	relaySnap relaySnapshot
+
+	// relayMu serializes the relay phase of concurrent predicts together
+	// with the snapshot commit: without it, two predicts could interleave
+	// Detect calls and commits so that neither committed snapshot matches
+	// the committed counters. Lock order is relayMu before mu; nothing
+	// acquires relayMu while holding mu.
+	relayMu sync.Mutex
+
 	// relay is the resilient CI client (nil when Config.CI is unset). Its
 	// clock advances only with CI activity: breaker cooldowns elapse in
 	// simulated CI milliseconds.
 	relay *resilience.Client
 
+	// metrics is the per-server registry behind GET /metrics. It only ever
+	// observes already-computed values (wall-clock request latency, snapshot
+	// counters), never feeds the model or the simulated clock, so scraping
+	// cannot perturb any seeded output.
+	metrics *obs.Registry
+
 	mux *http.ServeMux
+}
+
+// relaySnapshot is the relay/CI state captured atomically with the server
+// counters at each predict commit.
+type relaySnapshot struct {
+	stats   resilience.Stats
+	usage   cloud.Usage
+	breaker resilience.State
 }
 
 // New validates cfg and returns a ready server.
@@ -117,6 +154,7 @@ func New(cfg Config) (*Server, error) {
 		window:  mc.Window,
 		horizon: mc.Horizon,
 		k:       mc.NumEvents,
+		metrics: obs.NewRegistry(),
 		mux:     http.NewServeMux(),
 	}
 	if cfg.CI != nil {
@@ -125,15 +163,78 @@ func New(cfg Config) (*Server, error) {
 			rcfg = *cfg.Resilience
 		}
 		s.relay = resilience.NewClient(cfg.CI, rcfg, nil)
+		s.relay.Register(s.metrics, nil)
+		cloud.RegisterUsage(s.metrics, nil, cfg.CI)
 	}
-	s.mux.HandleFunc("POST /v1/frames", s.handleFrames)
-	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	s.registerServeMetrics()
+	s.mux.HandleFunc("POST /v1/frames", s.instrument("/v1/frames", s.handleFrames))
+	s.mux.HandleFunc("POST /v1/predict", s.instrument("/v1/predict", s.handlePredict))
+	s.mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
+	s.mux.HandleFunc("GET /v1/healthz", s.instrument("/v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
-	})
+	}))
+	s.mux.Handle("GET /metrics", s.metrics.Handler())
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
+}
+
+// registerServeMetrics exposes the marshalling counters as func-backed
+// series. Every value function reads one consistent snapshot, so a scrape
+// costs a mutex acquisition per family and nothing on the request path.
+func (s *Server) registerServeMetrics() {
+	fields := []struct {
+		name, help string
+		get        func(Stats) float64
+	}{
+		{"eventhit_serve_frames_ingested_total", "frames pushed via /v1/frames", func(st Stats) float64 { return float64(st.FramesIngested) }},
+		{"eventhit_serve_predictions_total", "marshalling decisions served", func(st Stats) float64 { return float64(st.Predictions) }},
+		{"eventhit_serve_relays_total", "event ranges decided for relay", func(st Stats) float64 { return float64(st.Relays) }},
+		{"eventhit_serve_skipped_horizons_total", "per-event horizons not relayed", func(st Stats) float64 { return float64(st.SkippedHorizons) }},
+		{"eventhit_serve_frames_to_cloud_total", "frames inside decided relay ranges", func(st Stats) float64 { return float64(st.FramesToCloud) }},
+		{"eventhit_serve_relayed_ok_total", "server-side relays served by the CI", func(st Stats) float64 { return float64(st.RelayedOK) }},
+		{"eventhit_serve_deferred_relays_total", "server-side relays lost to degradation", func(st Stats) float64 { return float64(st.DeferredRelays) }},
+		{"eventhit_serve_estimated_usd_total", "estimated spend of decided relays", func(st Stats) float64 { return st.EstimatedUSD }},
+		{"eventhit_serve_brute_force_usd_total", "what relaying every horizon would cost", func(st Stats) float64 { return st.BruteForceUSD }},
+	}
+	for _, f := range fields {
+		get := f.get
+		s.metrics.CounterFunc(f.name, f.help, nil, func() float64 { return get(s.snapshot()) })
+	}
+}
+
+// statusWriter captures the response code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with a request counter (by status code) and a
+// wall-clock latency histogram. Wall-clock time feeds only the registry —
+// never the simulated clock — so instrumentation cannot shift any seeded
+// result.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	dur := s.metrics.Histogram("eventhit_http_request_duration_seconds",
+		"wall-clock request latency", obs.SecondsBuckets(), obs.Labels{"endpoint": endpoint})
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		dur.Observe(time.Since(start).Seconds())
+		s.metrics.Counter("eventhit_http_requests_total", "requests served",
+			obs.Labels{"endpoint": endpoint, "code": strconv.Itoa(sw.code)}).Inc()
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -270,6 +371,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.predictMu.Lock()
 	pred := s.cfg.Bundle.EHCR(conf, cov).Predict(dataset.Record{X: x, Label: make([]bool, s.k)})
 	s.predictMu.Unlock()
+	if s.relay != nil {
+		// Hold relayMu across both the Detect calls and the snapshot commit
+		// below, so the committed CI view always corresponds to the
+		// committed counters (see relayMu field doc).
+		s.relayMu.Lock()
+		defer s.relayMu.Unlock()
+	}
 	resp := PredictResponse{Anchor: anchor, HorizonEnd: anchor + s.horizon}
 	var relays, frames, relayedOK, deferred int64
 	skipped := int64(0)
@@ -320,12 +428,23 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.skipped += skipped
 	s.relayedOK += relayedOK
 	s.deferred += deferred
+	if s.relay != nil {
+		s.relaySnap = relaySnapshot{
+			stats:   s.relay.Stats(),
+			usage:   s.cfg.CI.Usage(),
+			breaker: s.relay.BreakerState(),
+		}
+	}
 	s.mu.Unlock()
 	writeJSON(w, resp)
 }
 
-// Stats is the GET /v1/stats body. The CI* and breaker fields are only
-// populated when the server owns the relay (Config.CI set).
+// Stats is the GET /v1/stats body. RelayEnabled reports whether the server
+// owns the relay (Config.CI set); the CI*/relay numeric fields are always
+// present — a zero must be distinguishable from an omitted field, and prior
+// to RelayEnabled a client could not tell "relay disabled" from "relay
+// enabled, nothing deferred yet" because omitempty dropped both. Only the
+// breakerState string is omitted when there is no breaker to report.
 type Stats struct {
 	FramesIngested  int     `json:"framesIngested"`
 	Predictions     int64   `json:"predictions"`
@@ -335,19 +454,25 @@ type Stats struct {
 	EstimatedUSD    float64 `json:"estimatedUSD"`
 	BruteForceUSD   float64 `json:"bruteForceUSD"`
 	// Server-side relay health (zero values when the caller relays).
-	RelayedOK        int64   `json:"relayedOK,omitempty"`
-	DeferredRelays   int64   `json:"deferredRelays,omitempty"`
-	CIFailedAttempts int64   `json:"ciFailedAttempts,omitempty"`
-	CIRetried        int64   `json:"ciRetried,omitempty"`
-	CIBackoffMS      float64 `json:"ciBackoffMS,omitempty"`
-	CIBusyMS         float64 `json:"ciBusyMS,omitempty"`
-	CISpentUSD       float64 `json:"ciSpentUSD,omitempty"`
-	BreakerTrips     int64   `json:"breakerTrips,omitempty"`
+	RelayEnabled     bool    `json:"relayEnabled"`
+	RelayedOK        int64   `json:"relayedOK"`
+	DeferredRelays   int64   `json:"deferredRelays"`
+	CIFailedAttempts int64   `json:"ciFailedAttempts"`
+	CIRetried        int64   `json:"ciRetried"`
+	CIBackoffMS      float64 `json:"ciBackoffMS"`
+	CIBusyMS         float64 `json:"ciBusyMS"`
+	CISpentUSD       float64 `json:"ciSpentUSD"`
+	BreakerTrips     int64   `json:"breakerTrips"`
 	BreakerState     string  `json:"breakerState,omitempty"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+// snapshot assembles Stats from one critical section. The relay/CI fields
+// come from the snapshot committed by the most recent predict, not from
+// live reads of the relay client and CI locks — that is what makes the view
+// tear-free: counters and CI health were captured at the same instant.
+func (s *Server) snapshot() Stats {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	st := Stats{
 		FramesIngested:  s.next,
 		Predictions:     s.predicts,
@@ -356,19 +481,22 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		FramesToCloud:   s.frames,
 		EstimatedUSD:    float64(s.frames) * s.cfg.PerFrameUSD,
 		BruteForceUSD:   float64(s.predicts) * float64(s.horizon) * float64(s.k) * s.cfg.PerFrameUSD,
+		RelayEnabled:    s.relay != nil,
 		RelayedOK:       s.relayedOK,
 		DeferredRelays:  s.deferred,
 	}
-	s.mu.Unlock()
 	if s.relay != nil {
-		rs := s.relay.Stats()
-		st.CIFailedAttempts = rs.Failures
-		st.CIRetried = rs.Retries
-		st.CIBackoffMS = rs.BackoffMS
-		st.CIBusyMS = rs.BusyMS
-		st.CISpentUSD = s.cfg.CI.Usage().SpentUSD
-		st.BreakerTrips = rs.Trips
-		st.BreakerState = s.relay.BreakerState().String()
+		st.CIFailedAttempts = s.relaySnap.stats.Failures
+		st.CIRetried = s.relaySnap.stats.Retries
+		st.CIBackoffMS = s.relaySnap.stats.BackoffMS
+		st.CIBusyMS = s.relaySnap.stats.BusyMS
+		st.CISpentUSD = s.relaySnap.usage.SpentUSD
+		st.BreakerTrips = s.relaySnap.stats.Trips
+		st.BreakerState = s.relaySnap.breaker.String()
 	}
-	writeJSON(w, st)
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.snapshot())
 }

@@ -1,13 +1,24 @@
 #!/usr/bin/env sh
 # check.sh — the full local CI gate. Run from the repository root.
 #
+#   gofmt      formatting drift fails the gate
 #   vet        static analysis
 #   build      every package compiles
 #   race tests the whole suite under the race detector
+#   scrape     the /metrics + /v1/stats consistency tests under -race:
+#              concurrent scrapes while predicts relay to the CI
 #   fuzz seeds the checked-in fuzz corpus (testdata/fuzz/) executed as
 #              ordinary tests, no fuzzing engine; use
 #              `go test ./internal/serve/ -fuzz FuzzFrames` to explore
 set -eu
+
+echo "== gofmt =="
+fmt_out=$(gofmt -l .)
+if [ -n "$fmt_out" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt_out" >&2
+    exit 1
+fi
 
 echo "== go vet =="
 go vet ./...
@@ -17,6 +28,10 @@ go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== metrics scrape under load (race) =="
+go test -race ./internal/serve/ -run 'TestStatsConsistentUnderLoad|TestMetricsEndpoint' -count=1
+go test -race ./internal/obs/ -run 'TestConcurrentUpdatesAndScrapes' -count=1
 
 echo "== fuzz seed corpus (run mode) =="
 go test ./internal/serve/ -run 'Fuzz' -count=1
