@@ -210,5 +210,6 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsOut)
+		harness.MetricsDigest(os.Stdout)
 	}
 }

@@ -1,0 +1,83 @@
+// Command eventhitfleet runs the fleet scheduler benchmark: one model
+// trained on a task, deployed across N simulated camera streams, all
+// marshalled against ONE shared, budgeted CI backend (see internal/fleet).
+// It prints the per-stream service/recall/spend table and writes the full
+// report as JSON.
+//
+//	eventhitfleet -task TA10 -streams 4 -budget 2.5
+//	eventhitfleet -quick -streams 8 -frames 20000 -out BENCH_fleet.json
+//
+// Same -seed + stream count + policy => byte-identical JSON at any
+// -parallelism: stream timelines are pure, so only their computation is
+// concurrent; arbitration is serial over the shared simulated clock.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"eventhit/internal/fleet"
+	"eventhit/internal/harness"
+)
+
+func main() {
+	var (
+		task        = flag.String("task", "TA10", "Table II task to train on and deploy")
+		streams     = flag.Int("streams", 4, "number of simulated camera streams")
+		frames      = flag.Int("frames", 30_000, "frames to marshal per stream (0 = whole stream)")
+		seed        = flag.Int64("seed", 1, "base random seed (stream i uses seed+1000*(i+1))")
+		quick       = flag.Bool("quick", false, "use reduced training sizes")
+		parallelism = flag.Int("parallelism", runtime.NumCPU(), "workers for stream envs and timelines; the report is identical at any value")
+		budget      = flag.Float64("budget", 2, "global CI spend cap in USD (0 = uncapped)")
+		streamRate  = flag.Float64("streamrate", 0, "per-stream token bucket refill, billed frames per simulated second (0 = unmetered)")
+		streamBurst = flag.Float64("streamburst", 0, "per-stream token bucket burst, billed frames")
+		queueMax    = flag.Int("queuemax", 64, "pending-queue bound; lowest-urgency relays are shed beyond it (0 = unbounded)")
+		batchMax    = flag.Int("batchmax", 8, "max relays per CI batch call")
+		out         = flag.String("out", "BENCH_fleet.json", "output file for the fleet report")
+	)
+	flag.Parse()
+
+	opt := harness.DefaultOptions()
+	if *quick {
+		opt = harness.Quick()
+	}
+	harness.SetParallelism(*parallelism)
+	fcfg := fleet.DefaultConfig()
+	fcfg.Parallelism = *parallelism
+	fcfg.GlobalBudgetUSD = *budget
+	fcfg.StreamRatePerSec = *streamRate
+	fcfg.StreamBurst = *streamBurst
+	fcfg.QueueMax = *queueMax
+	fcfg.BatchMax = *batchMax
+
+	t0 := time.Now()
+	res, err := harness.Fleet(*task, opt, *streams, *frames, fcfg, *seed, os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "[fleet done in %s]\n", time.Since(t0).Round(time.Millisecond))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(res)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eventhitfleet:", err)
+	os.Exit(1)
+}

@@ -15,13 +15,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"eventhit/internal/cloud"
+	"eventhit/internal/fleet"
 	"eventhit/internal/harness"
 	"eventhit/internal/serve"
 	"eventhit/internal/strategy"
@@ -38,6 +44,9 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed for on-the-fly training")
 		tracePath  = flag.String("trace", "", "append a JSON-lines decision audit trail to this file")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (trusted listeners only)")
+		budget     = flag.Float64("budget", 0, "global CI spend cap in USD across all sessions (0 = no fleet arbiter)")
+		streamRate = flag.Float64("streamrate", 0, "per-session CI admission rate, billed frames/sec (0 = unmetered)")
+		drain      = flag.Duration("drain", 10*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -81,6 +90,15 @@ func main() {
 		DefaultCoverage:   *coverage,
 		EnablePprof:       *pprofOn,
 	}
+	if *budget > 0 || *streamRate > 0 {
+		scfg.Fleet = &fleet.ArbiterConfig{
+			PerFrameUSD:       scfg.PerFrameUSD,
+			GlobalBudgetUSD:   *budget,
+			SessionRatePerSec: *streamRate,
+			SessionBurst:      *streamRate, // one second of burst headroom
+		}
+		log.Printf("fleet arbiter on: budget $%.4f, per-session rate %.1f frames/s", *budget, *streamRate)
+	}
 	if *tracePath != "" {
 		tf, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -101,7 +119,32 @@ func main() {
 	if *pprofOn {
 		log.Printf("pprof at GET /debug/pprof/")
 	}
-	fatal(http.ListenAndServe(*addr, srv))
+
+	// Serve until SIGINT/SIGTERM, then drain: stop accepting, let in-flight
+	// requests finish (bounded by -drain), and only then exit — a camera
+	// mid-predict gets its decision instead of a reset connection.
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutdown signal received: draining connections (up to %s)", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+			hs.Close()
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+		log.Printf("server stopped cleanly")
+	}
 }
 
 func fatal(err error) {

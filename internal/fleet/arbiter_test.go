@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"eventhit/internal/obs"
+)
+
+func TestTokenBucket(t *testing.T) {
+	b := newTokenBucket(1000, 50, 0) // 1 token/ms, burst 50
+	if !b.take(50, 0) {
+		t.Fatal("full bucket refused its burst")
+	}
+	if b.take(1, 0) {
+		t.Fatal("empty bucket granted a token")
+	}
+	if !b.take(10, 10) {
+		t.Fatal("bucket did not refill at rate")
+	}
+	if b.take(1, 10) {
+		t.Fatal("refilled tokens double-spent")
+	}
+	// Refill saturates at burst.
+	if !b.take(50, 1e6) {
+		t.Fatal("bucket lost its burst capacity")
+	}
+	if b.take(1, 1e6) {
+		t.Fatal("bucket exceeded burst after long idle")
+	}
+	if nb := newTokenBucket(0, 10, 0); nb != nil {
+		t.Fatal("rate 0 must mean unlimited (nil bucket)")
+	}
+	var unlimited *tokenBucket
+	if !unlimited.take(1e18, 0) {
+		t.Fatal("nil bucket must grant everything")
+	}
+}
+
+func TestArbiterAdmissionAndBudgets(t *testing.T) {
+	now := 0.0
+	a, err := newArbiterAt(ArbiterConfig{
+		PerFrameUSD:       0.001,
+		GlobalBudgetUSD:   0.05, // 50 frames total
+		SessionRatePerSec: 1000, // 1 frame/ms
+		SessionBurst:      20,
+	}, func() float64 { return now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := a.Admit("s1", 20); v != Admit {
+		t.Fatalf("burst admit = %v", v)
+	}
+	if v := a.Admit("s1", 5); v != DeferRate {
+		t.Fatalf("over-rate admit = %v", v)
+	}
+	now = 10 // 10 tokens refilled
+	if v := a.Admit("s1", 5); v != Admit {
+		t.Fatalf("post-refill admit = %v", v)
+	}
+	// A second session has its own bucket.
+	if v := a.Admit("s2", 20); v != Admit {
+		t.Fatalf("fresh session admit = %v", v)
+	}
+	// 45 frames admitted; 6 more would breach the 50-frame global cap.
+	if v := a.Admit("s2", 6); v != DeferBudget {
+		t.Fatalf("cap admit = %v", v)
+	}
+	st := a.Stats()
+	if st.Admitted != 3 || st.DeferredRate != 1 || st.DeferredBudget != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.AdmittedFrames != 45 || st.AdmittedUSD != 0.045 || st.Sessions != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestArbiterConcurrentAdmission is the race-detector test for concurrent
+// stream admission: many sessions admitting in parallel must conserve the
+// counters and never breach the global cap.
+func TestArbiterConcurrentAdmission(t *testing.T) {
+	a, err := NewArbiter(ArbiterConfig{
+		PerFrameUSD:     0.001,
+		GlobalBudgetUSD: 0.2, // 200 frames
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := string(rune('a' + w))
+			for i := 0; i < per; i++ {
+				a.Admit(id, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	st := a.Stats()
+	if st.Admitted+st.DeferredBudget+st.DeferredRate != workers*per {
+		t.Fatalf("verdicts do not partition: %+v", st)
+	}
+	if st.AdmittedFrames != 200 || st.AdmittedUSD > 0.2 {
+		t.Fatalf("cap breached or undershot: %+v", st)
+	}
+}
+
+func TestArbiterRegister(t *testing.T) {
+	a, err := NewArbiter(ArbiterConfig{PerFrameUSD: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Admit("s1", 10)
+	reg := obs.NewRegistry()
+	a.Register(reg, nil)
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"eventhit_fleet_admitted_relays_total 1",
+		"eventhit_fleet_admitted_usd_total 0.01",
+		"eventhit_fleet_sessions 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestArbiterConfigValidate(t *testing.T) {
+	if _, err := NewArbiter(ArbiterConfig{PerFrameUSD: -1}); err == nil {
+		t.Fatal("negative PerFrameUSD accepted")
+	}
+}

@@ -1,0 +1,353 @@
+// Package fleet marshals N concurrent video streams against ONE shared,
+// per-frame-billed CI backend. The paper's pipeline (internal/pipeline)
+// owns a private CI channel; at production scale many streams compete for
+// the same priced endpoint, and the throughput/cost wins move from "what
+// does one stream relay" to "whose relays reach the backend, when, and in
+// what batches". The fleet layer answers that with three mechanisms:
+//
+//   - A priority scheduler ordering pending relays by conformal urgency —
+//     the predicted occurrence interval's start minus the stream's current
+//     position (earliest-deadline-first). Urgency ages as a request waits,
+//     so no stream starves: a parked relay's effective slack decays without
+//     bound while fresh arrivals start at their nominal slack.
+//   - Batching: compatible pending relays ride one CI batch call, which
+//     amortizes the per-call overhead (connection setup, request framing)
+//     that dominates small relays.
+//   - Budgets and backpressure: a per-stream token bucket meters each
+//     stream's billed frames, a global spend cap bounds the fleet's total
+//     CI bill, and a bounded pending queue sheds the lowest-urgency relays
+//     first when the backend falls behind. Unserved relays reuse the
+//     graceful-degradation semantics of pipeline.Costs.Degrade: recorded
+//     as deferred/shed, never billed, never counted as recalled.
+//
+// Determinism: stream timelines are pure functions of the streams (relay
+// outcomes never feed back into the predictor — see pipeline.Collect), so
+// Run computes them on Parallelism workers with results slotted by stream
+// index, then arbitrates on a single goroutine over the shared simulated
+// clock. Same seed + same stream set => byte-identical report at any
+// Parallelism.
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"eventhit/internal/cloud"
+	"eventhit/internal/dataset"
+	"eventhit/internal/metrics"
+	"eventhit/internal/obs"
+	"eventhit/internal/pipeline"
+	"eventhit/internal/strategy"
+)
+
+// Stream is one admitted simulated stream: the existing pipeline loop's
+// ingredients plus the region to marshal.
+type Stream struct {
+	// ID labels the stream in reports and metrics.
+	ID string
+	// Source/Strategy/Cfg/Costs are the pipeline loop's inputs. Costs.CIMS
+	// is owned by the fleet scheduler: only the scan/predict profile is
+	// consulted.
+	Source   dataset.Source
+	Strategy strategy.Strategy
+	Cfg      dataset.Config
+	Costs    pipeline.Costs
+	// Start and End bound the marshalled region (absolute frames).
+	Start, End int
+}
+
+// Config parametrizes the shared backend and the scheduler policy.
+type Config struct {
+	// Pricing and Latency model the shared CI endpoint.
+	Pricing cloud.Pricing
+	Latency cloud.Latency
+	// CallOverheadMS is the fixed simulated cost of one CI batch call on
+	// top of the per-frame processing time — what batching amortizes.
+	CallOverheadMS float64
+	// BatchMax and BatchFramesMax bound one batch call: at most BatchMax
+	// relays and BatchFramesMax total frames ride together.
+	BatchMax       int
+	BatchFramesMax int
+	// QueueMax bounds the pending queue; beyond it the lowest-urgency
+	// relays are shed (admission control backpressure). 0 means unbounded.
+	QueueMax int
+	// FramePeriodMS converts waiting time into slack decay for the aging
+	// priority: a relay waiting FramePeriodMS loses one frame of slack.
+	FramePeriodMS float64
+	// StreamRatePerSec and StreamBurst configure each stream's token
+	// bucket in billed frames: the bucket refills at StreamRatePerSec
+	// frames per simulated second up to StreamBurst. Rate <= 0 disables
+	// per-stream metering.
+	StreamRatePerSec float64
+	StreamBurst      float64
+	// GlobalBudgetUSD caps the fleet's total CI spend; relays that would
+	// exceed it are deferred. 0 means uncapped.
+	GlobalBudgetUSD float64
+	// Parallelism is the number of workers computing stream timelines
+	// (phase A). Scheduling itself is serial; results are identical at any
+	// value >= 1.
+	Parallelism int
+	// Metrics receives the scheduler's instrumentation. Unlike the
+	// pipeline, nil does NOT fall back to obs.Default(): the fleet report
+	// embeds the registry summary, so the registry must be run-scoped for
+	// two identical runs to report identically. Run creates a fresh one.
+	Metrics *obs.Registry
+}
+
+// DefaultConfig returns a production-shaped policy: modest batching, a
+// bounded queue, 30 fps slack decay, unmetered streams and no global cap.
+func DefaultConfig() Config {
+	return Config{
+		Pricing:        cloud.RekognitionPricing(),
+		Latency:        cloud.DefaultLatency(),
+		CallOverheadMS: 120,
+		BatchMax:       8,
+		BatchFramesMax: 4096,
+		QueueMax:       64,
+		FramePeriodMS:  1000.0 / 30,
+		Parallelism:    1,
+	}
+}
+
+func (c Config) validate() error {
+	if c.BatchMax < 1 {
+		return fmt.Errorf("fleet: BatchMax %d < 1", c.BatchMax)
+	}
+	if c.BatchFramesMax < 1 {
+		return fmt.Errorf("fleet: BatchFramesMax %d < 1", c.BatchFramesMax)
+	}
+	if c.QueueMax < 0 {
+		return fmt.Errorf("fleet: negative QueueMax %d", c.QueueMax)
+	}
+	if !(c.FramePeriodMS > 0) {
+		return fmt.Errorf("fleet: FramePeriodMS must be positive, got %v", c.FramePeriodMS)
+	}
+	if c.CallOverheadMS < 0 || c.GlobalBudgetUSD < 0 || c.StreamRatePerSec < 0 || c.StreamBurst < 0 {
+		return fmt.Errorf("fleet: negative policy knob in %+v", c)
+	}
+	return nil
+}
+
+// StreamReport is one stream's slice of the fleet outcome.
+type StreamReport struct {
+	ID       string `json:"id"`
+	Horizons int    `json:"horizons"`
+	// Relays is the number of relay requests the stream released; Served,
+	// Deferred (budget) and Shed (queue pressure) partition them.
+	Relays   int `json:"relays"`
+	Served   int `json:"served"`
+	Deferred int `json:"deferred"`
+	Shed     int `json:"shed"`
+	// Detections counts true event segments the CI returned.
+	Detections int `json:"detections"`
+	// Frames and SpentUSD are the stream's billed share of the backend.
+	Frames   int64   `json:"frames"`
+	SpentUSD float64 `json:"spent_usd"`
+	// REC assumes every relay landed; RealizedREC zeroes out unserved
+	// relays — the recall the operator actually got.
+	REC         float64 `json:"rec"`
+	RealizedREC float64 `json:"realized_rec"`
+	// LocalMS is the stream's scan+predict time; AvgWaitMS/MaxWaitMS are
+	// its relays' queueing delays at the shared backend.
+	LocalMS   float64 `json:"local_ms"`
+	AvgWaitMS float64 `json:"avg_wait_ms"`
+	MaxWaitMS float64 `json:"max_wait_ms"`
+}
+
+// Report is the fleet run outcome.
+type Report struct {
+	Streams []StreamReport `json:"streams"`
+	// Totals over all streams.
+	Served   int `json:"served"`
+	Deferred int `json:"deferred"`
+	Shed     int `json:"shed"`
+	// TotalFrames/TotalSpentUSD are the shared backend's bill; with a
+	// global cap, TotalSpentUSD <= BudgetUSD always holds.
+	TotalFrames   int64   `json:"total_frames"`
+	TotalSpentUSD float64 `json:"total_spent_usd"`
+	BudgetUSD     float64 `json:"budget_usd"`
+	// Batching and queueing behaviour of the shared channel.
+	Batches       int     `json:"batches"`
+	AvgBatchSize  float64 `json:"avg_batch_size"`
+	MaxQueueDepth int     `json:"max_queue_depth"`
+	// MakespanMS is when the last activity (local or CI) finished.
+	MakespanMS float64 `json:"makespan_ms"`
+
+	// registry is the run-scoped metrics registry (see Config.Metrics).
+	registry *obs.Registry
+}
+
+// Registry returns the run's metrics registry (queue depth, wait/batch
+// histograms, shed/deferred counters, per-stream spend).
+func (r *Report) Registry() *obs.Registry { return r.registry }
+
+// MetricsSummary returns the fleet families of the run registry collapsed
+// to name -> total, the deterministic digest embedded in BENCH_fleet.json.
+func (r *Report) MetricsSummary() map[string]float64 {
+	out := make(map[string]float64)
+	for _, e := range r.registry.Summary() {
+		out[e.Name] = e.Total
+	}
+	return out
+}
+
+// Run admits the streams and marshals them against one shared CI backend.
+// Phase A computes each stream's timeline (records, predictions, relay
+// requests with release times) on Config.Parallelism workers, slotted by
+// stream index; phase B arbitrates all requests serially on the shared
+// simulated clock. The report is identical at any Parallelism.
+func Run(streams []Stream, cfg Config) (*Report, error) {
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("fleet: no streams")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(streams))
+	for i, s := range streams {
+		if s.ID == "" {
+			return nil, fmt.Errorf("fleet: stream %d has no ID", i)
+		}
+		if seen[s.ID] {
+			return nil, fmt.Errorf("fleet: duplicate stream ID %q", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+
+	// Phase A: per-stream oracle backends and timelines, computed
+	// concurrently and slotted by index.
+	type cell struct {
+		svc *cloud.Service
+		tl  pipeline.Timeline
+	}
+	cells := make([]cell, len(streams))
+	errs := make([]error, len(streams))
+	workers := cfg.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(streams) {
+		workers = len(streams)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(streams) {
+					return
+				}
+				s := streams[i]
+				svc := cloud.NewService(s.Source.Stream(), cfg.Pricing, cfg.Latency)
+				m, err := pipeline.New(s.Source, s.Strategy, svc, s.Cfg, s.Costs)
+				if err != nil {
+					errs[i] = fmt.Errorf("fleet: stream %s: %w", s.ID, err)
+					continue
+				}
+				tl, err := m.Collect(s.Start, s.End)
+				if err != nil {
+					errs[i] = fmt.Errorf("fleet: stream %s: %w", s.ID, err)
+					continue
+				}
+				cells[i] = cell{svc: svc, tl: tl}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase B: serial arbitration over the shared clock.
+	sch := newScheduler(cfg)
+	for i := range streams {
+		sch.addStream(streams[i].ID, cells[i].svc, cells[i].tl)
+	}
+	sch.run()
+
+	// Score each stream: model recall vs realized recall on the relays
+	// that actually reached the backend.
+	rep := &Report{BudgetUSD: cfg.GlobalBudgetUSD, registry: cfg.Metrics}
+	for i := range streams {
+		st := sch.streams[i]
+		u := st.svc.Usage()
+		sr := StreamReport{
+			ID:         streams[i].ID,
+			Horizons:   st.tl.Horizons,
+			Relays:     len(st.tl.Requests),
+			Served:     st.served,
+			Deferred:   st.deferred,
+			Shed:       st.shed,
+			Detections: st.detections,
+			// Spend is derived from the billed frame count with a single
+			// multiply so the report obeys the cap by the same arithmetic
+			// the scheduler enforces it with (u.SpentUSD accumulates
+			// per-call and drifts by float error).
+			Frames:    u.Frames,
+			SpentUSD:  float64(u.Frames) * cfg.Pricing.PerFrameUSD,
+			LocalMS:   st.tl.LocalMS(),
+			MaxWaitMS: st.maxWaitMS,
+		}
+		if st.served > 0 {
+			sr.AvgWaitMS = st.waitSumMS / float64(st.served)
+		}
+		if len(st.tl.Records) > 0 {
+			rec, err := metrics.REC(st.tl.Records, st.tl.Preds)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: scoring %s: %w", streams[i].ID, err)
+			}
+			realized, err := metrics.REC(st.tl.Records, dropUnserved(st.tl.Preds, st.unserved))
+			if err != nil {
+				return nil, fmt.Errorf("fleet: scoring %s: %w", streams[i].ID, err)
+			}
+			sr.REC, sr.RealizedREC = rec, realized
+		}
+		rep.Streams = append(rep.Streams, sr)
+		rep.Served += sr.Served
+		rep.Deferred += sr.Deferred
+		rep.Shed += sr.Shed
+		rep.TotalFrames += sr.Frames
+		if sr.LocalMS > rep.MakespanMS {
+			rep.MakespanMS = sr.LocalMS
+		}
+	}
+	rep.TotalSpentUSD = float64(rep.TotalFrames) * cfg.Pricing.PerFrameUSD
+	rep.Batches = sch.batches
+	if sch.batches > 0 {
+		rep.AvgBatchSize = float64(rep.Served) / float64(sch.batches)
+	}
+	rep.MaxQueueDepth = sch.maxDepth
+	if sch.ciFreeMS > rep.MakespanMS {
+		rep.MakespanMS = sch.ciFreeMS
+	}
+	return rep, nil
+}
+
+// dropUnserved returns a copy of preds with every unserved (deferred or
+// shed) relay's occurrence bit cleared — those frames never reached the
+// CI, so honest recall accounting must not credit them. The same rule as
+// harness.DropDeferred, keyed by (horizon, event).
+func dropUnserved(preds []metrics.Prediction, unserved [][2]int) []metrics.Prediction {
+	out := make([]metrics.Prediction, len(preds))
+	for i, p := range preds {
+		out[i] = metrics.Prediction{
+			Occur: append([]bool(nil), p.Occur...),
+			OI:    append(p.OI[:0:0], p.OI...),
+		}
+	}
+	for _, u := range unserved {
+		if u[0] < len(out) {
+			out[u[0]].Occur[u[1]] = false
+		}
+	}
+	return out
+}

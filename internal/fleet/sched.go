@@ -1,0 +1,272 @@
+package fleet
+
+import (
+	"sort"
+
+	"eventhit/internal/cloud"
+	"eventhit/internal/obs"
+	"eventhit/internal/pipeline"
+)
+
+// The scheduler is phase B of a fleet run: a single-goroutine, event-driven
+// simulation over the shared clock. Requests arrive at their streams'
+// release times; a serial CI channel serves one batch at a time; between
+// batches the pending queue is re-prioritized by aged urgency, bounded by
+// shedding, and metered by the budgets. Everything here is deterministic:
+// the only inputs are the (already slotted) timelines and the config, all
+// arithmetic is serial, and every tie is broken by (stream index, seq).
+
+// schedStream is one stream's scheduling state.
+type schedStream struct {
+	id     string
+	svc    *cloud.Service
+	tl     pipeline.Timeline
+	cursor int // next timeline request to release
+	bucket *tokenBucket
+
+	served, deferred, shed int
+	detections             int
+	waitSumMS, maxWaitMS   float64
+	// unserved lists (horizon, event) of deferred and shed relays for the
+	// realized-recall accounting.
+	unserved [][2]int
+}
+
+// pendingReq is one queued relay.
+type pendingReq struct {
+	stream int // index into scheduler.streams
+	req    pipeline.RelayRequest
+}
+
+type scheduler struct {
+	cfg     Config
+	streams []*schedStream
+
+	pending      []pendingReq
+	nowMS        float64
+	ciFreeMS     float64
+	framesBilled int64
+	spentUSD     float64 // always float64(framesBilled) * PerFrameUSD
+	batches      int
+	maxDepth     int
+
+	// Instrumentation (run-scoped registry, serial writes only).
+	depthG         *obs.Gauge
+	depthMaxG      *obs.Gauge
+	waitH          *obs.Histogram
+	batchH         *obs.Histogram
+	servedC, shedC *obs.Counter
+	deferredC      *obs.Counter
+	framesC        *obs.Counter
+	spendByStream  map[int]*obs.Counter
+	servedByStream map[int]*obs.Counter
+}
+
+func newScheduler(cfg Config) *scheduler {
+	reg := cfg.Metrics
+	return &scheduler{
+		cfg:       cfg,
+		depthG:    reg.Gauge("eventhit_fleet_queue_depth", "pending relays at the shared CI", nil),
+		depthMaxG: reg.Gauge("eventhit_fleet_queue_depth_max", "high-water mark of the pending queue", nil),
+		waitH: reg.Histogram("eventhit_fleet_wait_ms",
+			"queueing delay between a relay's release and its batch dispatch", obs.MSBuckets(), nil),
+		batchH: reg.Histogram("eventhit_fleet_batch_size",
+			"relays per CI batch call", []float64{1, 2, 4, 8, 16, 32, 64}, nil),
+		servedC:        reg.Counter("eventhit_fleet_served_relays_total", "relays served by the shared CI", nil),
+		shedC:          reg.Counter("eventhit_fleet_shed_relays_total", "relays shed by queue backpressure", nil),
+		deferredC:      reg.Counter("eventhit_fleet_deferred_relays_total", "relays deferred by budget metering", nil),
+		framesC:        reg.Counter("eventhit_fleet_ci_frames_total", "frames billed by the shared CI", nil),
+		spendByStream:  make(map[int]*obs.Counter),
+		servedByStream: make(map[int]*obs.Counter),
+	}
+}
+
+func (s *scheduler) addStream(id string, svc *cloud.Service, tl pipeline.Timeline) {
+	i := len(s.streams)
+	s.streams = append(s.streams, &schedStream{
+		id: id, svc: svc, tl: tl,
+		bucket: newTokenBucket(s.cfg.StreamRatePerSec, s.cfg.StreamBurst, 0),
+	})
+	s.spendByStream[i] = s.cfg.Metrics.Counter("eventhit_fleet_stream_spent_usd_total",
+		"per-stream CI spend", obs.Labels{"stream": id})
+	s.servedByStream[i] = s.cfg.Metrics.Counter("eventhit_fleet_stream_served_total",
+		"per-stream served relays", obs.Labels{"stream": id})
+}
+
+// effSlack is the aged urgency of a pending request at nowMS: the nominal
+// slack (frames until the predicted occurrence starts) minus the slack
+// consumed by waiting. Smaller is more urgent; waiting strictly decreases
+// it, which is the starvation-freedom argument — a parked relay's slack
+// falls below any fresh arrival's eventually.
+func (s *scheduler) effSlack(p pendingReq) float64 {
+	return float64(p.req.SlackFrames) - (s.nowMS-p.req.ReleaseMS)/s.cfg.FramePeriodMS
+}
+
+// less orders pending requests by (aged urgency, stream index, seq) — a
+// total, deterministic order.
+func (s *scheduler) less(a, b pendingReq) bool {
+	sa, sb := s.effSlack(a), s.effSlack(b)
+	if sa != sb {
+		return sa < sb
+	}
+	if a.stream != b.stream {
+		return a.stream < b.stream
+	}
+	return a.req.Seq < b.req.Seq
+}
+
+// nextRelease returns the stream index holding the earliest unreleased
+// request, or -1 when all timelines are drained. Ties break on stream
+// index.
+func (s *scheduler) nextRelease() int {
+	best := -1
+	var bestMS float64
+	for i, st := range s.streams {
+		if st.cursor >= len(st.tl.Requests) {
+			continue
+		}
+		t := st.tl.Requests[st.cursor].ReleaseMS
+		if best == -1 || t < bestMS {
+			best, bestMS = i, t
+		}
+	}
+	return best
+}
+
+// admit moves every request released at or before nowMS into the pending
+// queue, in (release time, stream index) order, then applies the queue
+// bound by shedding the lowest-urgency entries.
+func (s *scheduler) admit() {
+	for {
+		i := s.nextRelease()
+		if i < 0 {
+			break
+		}
+		st := s.streams[i]
+		r := st.tl.Requests[st.cursor]
+		if r.ReleaseMS > s.nowMS {
+			break
+		}
+		st.cursor++
+		s.pending = append(s.pending, pendingReq{stream: i, req: r})
+	}
+	if len(s.pending) > s.maxDepth {
+		s.maxDepth = len(s.pending)
+		s.depthMaxG.Set(float64(s.maxDepth))
+	}
+	if s.cfg.QueueMax > 0 && len(s.pending) > s.cfg.QueueMax {
+		// Shed from the low-urgency end until the bound holds.
+		sort.Slice(s.pending, func(a, b int) bool { return s.less(s.pending[a], s.pending[b]) })
+		for len(s.pending) > s.cfg.QueueMax {
+			victim := s.pending[len(s.pending)-1]
+			s.pending = s.pending[:len(s.pending)-1]
+			st := s.streams[victim.stream]
+			st.shed++
+			st.unserved = append(st.unserved, [2]int{victim.req.Horizon, victim.req.Event})
+			s.shedC.Inc()
+		}
+	}
+	s.depthG.Set(float64(len(s.pending)))
+}
+
+// run drains every timeline through the shared channel.
+func (s *scheduler) run() {
+	for {
+		s.admit()
+		if len(s.pending) == 0 {
+			i := s.nextRelease()
+			if i < 0 {
+				return // all streams drained
+			}
+			// Idle until the next release.
+			st := s.streams[i]
+			s.nowMS = st.tl.Requests[st.cursor].ReleaseMS
+			continue
+		}
+		s.dispatch()
+	}
+}
+
+// dispatch serves one batch: pick the most urgent pending relay, meter it,
+// fill the batch with further compatible relays in urgency order, and
+// charge the shared channel for one call.
+func (s *scheduler) dispatch() {
+	sort.Slice(s.pending, func(a, b int) bool { return s.less(s.pending[a], s.pending[b]) })
+
+	var batch []pendingReq
+	var batchFrames int
+	rest := s.pending[:0]
+	for _, p := range s.pending {
+		if len(batch) >= s.cfg.BatchMax {
+			rest = append(rest, p)
+			continue
+		}
+		frames := p.req.Win.Len()
+		if len(batch) > 0 && batchFrames+frames > s.cfg.BatchFramesMax {
+			rest = append(rest, p)
+			continue
+		}
+		// The cap is checked on the billed frame count with a single
+		// multiply: accumulating per-relay costs drifts past the cap by
+		// float error.
+		wouldSpend := float64(s.framesBilled+int64(batchFrames+frames)) * s.cfg.Pricing.PerFrameUSD
+		if s.cfg.GlobalBudgetUSD > 0 && wouldSpend > s.cfg.GlobalBudgetUSD {
+			// Over the cap: the relay can never be afforded (spend only
+			// grows), so defer it now rather than re-sorting it forever.
+			s.defer_(p)
+			continue
+		}
+		if !s.streams[p.stream].bucket.take(float64(frames), s.nowMS) {
+			// The stream is over its metered rate. Deferring (rather than
+			// parking) keeps the queue from filling with unaffordable work;
+			// the stream's next horizon gets a refilled bucket.
+			s.defer_(p)
+			continue
+		}
+		batchFrames += frames
+		batch = append(batch, p)
+	}
+	s.pending = rest
+	s.depthG.Set(float64(len(s.pending)))
+	if len(batch) == 0 {
+		return // everything was deferred; admit/idle again
+	}
+
+	serveStart := s.nowMS
+	latency := s.cfg.CallOverheadMS + float64(batchFrames)*s.cfg.Latency.PerFrameMS
+	s.framesBilled += int64(batchFrames)
+	s.spentUSD = float64(s.framesBilled) * s.cfg.Pricing.PerFrameUSD
+	s.batches++
+	s.batchH.Observe(float64(len(batch)))
+	for _, p := range batch {
+		st := s.streams[p.stream]
+		det, err := st.svc.Detect(p.req.EventType, p.req.Win)
+		if err != nil {
+			// The oracle backend cannot fail on a valid event type; a
+			// failure here is a programming error surfaced loudly.
+			panic("fleet: oracle CI failed: " + err.Error())
+		}
+		st.served++
+		st.detections += len(det.Found)
+		wait := serveStart - p.req.ReleaseMS
+		st.waitSumMS += wait
+		if wait > st.maxWaitMS {
+			st.maxWaitMS = wait
+		}
+		s.waitH.Observe(wait)
+		s.servedC.Inc()
+		s.framesC.Add(float64(p.req.Win.Len()))
+		s.spendByStream[p.stream].Add(float64(p.req.Win.Len()) * s.cfg.Pricing.PerFrameUSD)
+		s.servedByStream[p.stream].Inc()
+	}
+	s.ciFreeMS = serveStart + latency
+	s.nowMS = s.ciFreeMS
+}
+
+// defer_ drops a relay to budget metering: unserved, unbilled, recorded.
+func (s *scheduler) defer_(p pendingReq) {
+	st := s.streams[p.stream]
+	st.deferred++
+	st.unserved = append(st.unserved, [2]int{p.req.Horizon, p.req.Event})
+	s.deferredC.Inc()
+}

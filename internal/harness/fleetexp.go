@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"eventhit/internal/features"
+	"eventhit/internal/fleet"
+	"eventhit/internal/mathx"
+	"eventhit/internal/pipeline"
+	"eventhit/internal/video"
+)
+
+// FleetResult is the machine-readable record emitted as BENCH_fleet.json:
+// one model trained on a task and deployed across n independently generated
+// camera streams, all marshalled against ONE shared, budgeted CI backend by
+// the fleet scheduler. Same seed + stream count + policy => byte-identical
+// JSON at any fleet parallelism.
+type FleetResult struct {
+	Task       string  `json:"task"`
+	Seed       int64   `json:"seed"`
+	Streams    int     `json:"streams"`
+	Frames     int     `json:"frames"`
+	Confidence float64 `json:"confidence"`
+	Coverage   float64 `json:"coverage"`
+	// Report is the scheduler's outcome: per-stream service/recall/spend
+	// plus the shared channel's batching and queueing behaviour.
+	Report fleet.Report `json:"report"`
+	// Metrics collapses the run-scoped registry to family -> total (see
+	// fleet.Report.MetricsSummary); Go marshals map keys sorted, so the
+	// digest is deterministic.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Fleet trains one bundle on the task, generates n fresh streams of the
+// task's dataset (distinct seeds — the paper's independent trials, here
+// playing N cameras running the same deployed model), and marshals the
+// first `frames` frames of each through the fleet scheduler under fcfg.
+// frames <= 0 marshals whole streams; n <= 0 defaults to 4.
+func Fleet(taskName string, opt Options, n, frames int, fcfg fleet.Config, seed int64, w io.Writer) (*FleetResult, error) {
+	task, err := TaskByName(taskName)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		n = 4
+	}
+	const conf, cov = 0.9, 0.9
+	env, err := NewEnv(task, opt, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// One stream per cell, slotted by index. Each stream gets its own model
+	// replica: Model.Predict reuses forward caches, and fleet.Run computes
+	// timelines concurrently. The conformal layers are read-only after
+	// calibration and stay shared.
+	streams := make([]fleet.Stream, n)
+	if err := forEachCell(n, func(i int) error {
+		ss := seed + int64(1000*(i+1))
+		st := video.Generate(task.Dataset, mathx.NewRNG(ss).Split(1))
+		ex, err := features.NewExtractor(st, task.EventIdx, opt.Detector, ss)
+		if err != nil {
+			return fmt.Errorf("harness: fleet stream %d: %w", i, err)
+		}
+		sb := *env.Bundle
+		sb.Model = env.Bundle.Model.Clone()
+		end := st.N - 1
+		if frames > 0 && frames < end {
+			end = frames
+		}
+		streams[i] = fleet.Stream{
+			ID:       fmt.Sprintf("cam-%02d", i),
+			Source:   ex,
+			Strategy: sb.EHCR(conf, cov),
+			Cfg:      env.Cfg,
+			Costs:    pipeline.EventHitCosts(env.Cfg.Window),
+			Start:    0,
+			End:      end,
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	rep, err := fleet.Run(streams, fcfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &FleetResult{
+		Task: task.Name, Seed: seed, Streams: n, Frames: frames,
+		Confidence: conf, Coverage: cov,
+		Report:  *rep,
+		Metrics: rep.MetricsSummary(),
+	}
+	if w != nil {
+		t := NewTable(fmt.Sprintf("Fleet — %d x %s streams, EHCR(c=α=%.2f), one shared CI (budget $%.2f)",
+			n, task.Name, conf, fcfg.GlobalBudgetUSD),
+			"stream", "relays", "served", "deferred", "shed", "REC", "realized", "spent $", "avg wait ms")
+		for _, s := range rep.Streams {
+			t.Addf(s.ID, s.Relays, s.Served, s.Deferred, s.Shed,
+				fmt.Sprintf("%.3f", s.REC), fmt.Sprintf("%.3f", s.RealizedREC),
+				fmt.Sprintf("%.2f", s.SpentUSD), fmt.Sprintf("%.0f", s.AvgWaitMS))
+		}
+		t.Render(w)
+		fmt.Fprintf(w, "served %d / deferred %d / shed %d relays in %d batches (avg %.2f); spent $%.2f of $%.2f; makespan %.0f s\n\n",
+			rep.Served, rep.Deferred, rep.Shed, rep.Batches, rep.AvgBatchSize,
+			rep.TotalSpentUSD, fcfg.GlobalBudgetUSD, rep.MakespanMS/1000)
+	}
+	return res, nil
+}

@@ -1,0 +1,131 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"eventhit/internal/fleet"
+)
+
+// quickFleetPolicy is a scheduler policy sized for Quick() streams: a cap
+// well below the unconstrained spend so the budget machinery engages.
+func quickFleetPolicy() fleet.Config {
+	cfg := fleet.DefaultConfig()
+	cfg.GlobalBudgetUSD = 0.5
+	cfg.StreamRatePerSec = 600
+	cfg.StreamBurst = 3000
+	return cfg
+}
+
+// TestFleetGoldenJSONShape pins the BENCH_fleet.json schema: exact field
+// names, order and nesting. Values are fixed by hand so the golden only
+// moves when the schema does.
+func TestFleetGoldenJSONShape(t *testing.T) {
+	res := FleetResult{
+		Task: "TA10", Seed: 7, Streams: 1, Frames: 1000,
+		Confidence: 0.9, Coverage: 0.9,
+		Report: fleet.Report{
+			Streams: []fleet.StreamReport{{
+				ID: "cam-00", Horizons: 3, Relays: 2, Served: 1, Deferred: 1, Shed: 0,
+				Detections: 1, Frames: 40, SpentUSD: 0.04, REC: 1, RealizedREC: 0.5,
+				LocalMS: 100, AvgWaitMS: 5, MaxWaitMS: 5,
+			}},
+			Served: 1, Deferred: 1, Shed: 0,
+			TotalFrames: 40, TotalSpentUSD: 0.04, BudgetUSD: 1,
+			Batches: 1, AvgBatchSize: 1, MaxQueueDepth: 2, MakespanMS: 250,
+		},
+		Metrics: map[string]float64{
+			"eventhit_fleet_ci_frames_total":     40,
+			"eventhit_fleet_served_relays_total": 1,
+		},
+	}
+	got, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "fleet_golden.json")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("BENCH_fleet.json schema drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}
+
+func TestFleetExperimentQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	var buf bytes.Buffer
+	fcfg := quickFleetPolicy()
+	res, err := Fleet("TA10", Quick(), 3, 20_000, fcfg, 5, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Report.Streams) != 3 || res.Task != "TA10" {
+		t.Fatalf("result = %+v", res)
+	}
+	rep := res.Report
+	for _, s := range rep.Streams {
+		if s.Relays == 0 {
+			t.Fatalf("stream %s released no relays", s.ID)
+		}
+		if s.Served+s.Deferred+s.Shed != s.Relays {
+			t.Fatalf("stream %s accounting does not partition: %+v", s.ID, s)
+		}
+		if s.RealizedREC > s.REC+1e-12 {
+			t.Fatalf("stream %s realized REC %v above model REC %v", s.ID, s.RealizedREC, s.REC)
+		}
+	}
+	// The acceptance property: total billed frames never exceed the cap.
+	if rep.TotalSpentUSD > fcfg.GlobalBudgetUSD {
+		t.Fatalf("spent %v over cap %v", rep.TotalSpentUSD, fcfg.GlobalBudgetUSD)
+	}
+	if got := float64(rep.TotalFrames) * fcfg.Pricing.PerFrameUSD; got > fcfg.GlobalBudgetUSD {
+		t.Fatalf("billed frames %d (%v USD) over cap %v", rep.TotalFrames, got, fcfg.GlobalBudgetUSD)
+	}
+	if rep.Deferred == 0 {
+		t.Fatalf("cap sized below unconstrained spend engaged no deferrals: %+v", rep)
+	}
+	if len(res.Metrics) == 0 || res.Metrics["eventhit_fleet_served_relays_total"] != float64(rep.Served) {
+		t.Fatalf("metrics digest inconsistent with report: %v vs served %d", res.Metrics, rep.Served)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("experiment rendered no table")
+	}
+}
+
+// TestFleetExperimentDeterministicAcrossParallelism is the acceptance
+// property: byte-identical JSON whether stream envs and timelines are built
+// on one worker or many.
+func TestFleetExperimentDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models twice")
+	}
+	run := func(cells, fleetPar int) []byte {
+		old := SetParallelism(cells)
+		defer SetParallelism(old)
+		fcfg := quickFleetPolicy()
+		fcfg.Parallelism = fleetPar
+		res, err := Fleet("TA10", Quick(), 2, 10_000, fcfg, 5, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial := run(1, 1)
+	parallel := run(4, 6)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("fleet run differs across parallelism:\n p=1: %s\n p>1: %s", serial, parallel)
+	}
+}

@@ -15,3 +15,19 @@ import (
 func DumpMetrics(w io.Writer) error {
 	return obs.Default().WriteText(w)
 }
+
+// MetricsDigest renders the process registry's Summary — every family
+// collapsed to one total — as a small table: the operator's one-screen
+// answer to "what did this run cost" after a bench, printed next to the
+// full exposition -metricsout writes.
+func MetricsDigest(w io.Writer) {
+	sum := obs.Default().Summary()
+	if len(sum) == 0 {
+		return
+	}
+	t := NewTable("Metrics digest — process registry totals", "family", "kind", "series", "total")
+	for _, e := range sum {
+		t.Addf(e.Name, e.Kind, e.Series, e.Total)
+	}
+	t.Render(w)
+}

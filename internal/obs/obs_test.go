@@ -211,3 +211,48 @@ func TestHandlerServesText(t *testing.T) {
 		t.Fatalf("body = %q", rec.Body.String())
 	}
 }
+
+// TestSummaryTotals: Summary collapses label dimensions into per-family
+// totals, sorted by name, with histogram count and sum reported separately.
+func TestSummaryTotals(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_requests_total", "", Labels{"code": "200"}).Add(3)
+	r.Counter("b_requests_total", "", Labels{"code": "500"}).Add(2)
+	r.Gauge("c_depth", "", nil).Set(4)
+	r.CounterFunc("d_spend_usd", "", nil, func() float64 { return 1.25 })
+	h := r.Histogram("a_wait_ms", "", []float64{1, 10}, nil)
+	h.Observe(0.5)
+	h.Observe(20)
+
+	got := r.Summary()
+	want := []SummaryEntry{
+		{Name: "a_wait_ms", Kind: "histogram", Series: 1, Total: 2, Sum: 20.5},
+		{Name: "b_requests_total", Kind: "counter", Series: 2, Total: 5},
+		{Name: "c_depth", Kind: "gauge", Series: 1, Total: 4},
+		{Name: "d_spend_usd", Kind: "counter", Series: 1, Total: 1.25},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Summary returned %d entries, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSummaryStable: two snapshots of an unchanged registry are identical.
+func TestSummaryStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "", Labels{"s": "a"}).Inc()
+	r.Histogram("y_ms", "", []float64{1}, nil).Observe(2)
+	a, b := r.Summary(), r.Summary()
+	if len(a) != len(b) {
+		t.Fatalf("snapshot lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

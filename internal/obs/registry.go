@@ -304,6 +304,54 @@ func writeHistogram(b *strings.Builder, name string, s *series) {
 	fmt.Fprintf(b, "%s_count%s %d\n", name, s.labels, h.Count())
 }
 
+// SummaryEntry is one metric family's roll-up in a Summary.
+type SummaryEntry struct {
+	// Name is the family name; Kind is "counter", "gauge" or "histogram".
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Series is the number of label combinations in the family.
+	Series int `json:"series"`
+	// Total is the family's value summed across series. For histograms it
+	// is the total observation count; Sum then carries the summed values.
+	Total float64 `json:"total"`
+	Sum   float64 `json:"sum,omitempty"`
+}
+
+// Summary returns one entry per family, sorted by name: the registry's
+// top-level totals with label dimensions collapsed. Like WriteText it is a
+// read-only snapshot (func-backed series are evaluated once), so a registry
+// with fixed contents summarizes identically every time — the fleet report
+// embeds it in BENCH_fleet.json under that guarantee.
+func (r *Registry) Summary() []SummaryEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]SummaryEntry, 0, len(names))
+	for _, n := range names {
+		f := r.families[n]
+		e := SummaryEntry{Name: f.name, Kind: f.kind.String(), Series: len(f.series)}
+		for _, s := range f.series {
+			switch {
+			case s.fn != nil:
+				e.Total += s.fn()
+			case s.c != nil:
+				e.Total += s.c.Value()
+			case s.g != nil:
+				e.Total += s.g.Value()
+			case s.h != nil:
+				e.Total += float64(s.h.Count())
+				e.Sum += s.h.Sum()
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
 // Handler returns an http.Handler serving the text exposition — mount it
 // at GET /metrics.
 func (r *Registry) Handler() http.Handler {

@@ -1,0 +1,109 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"eventhit/internal/dataset"
+	"eventhit/internal/metrics"
+	"eventhit/internal/video"
+)
+
+// Collect mode: the same marshalling loop as RunDetailed, but the relay
+// stage is captured instead of served. A stream participating in a fleet
+// does not own the CI channel — it submits relay requests to a shared
+// scheduler (internal/fleet) and keeps marshalling; the scheduler decides
+// when (and whether) each request reaches the backend. Because relay
+// outcomes never feed back into the predictor, the captured timeline is a
+// pure function of the stream: the fleet can replay, reorder and batch it
+// without changing what the stream would have predicted.
+
+// RelayRequest is one captured relay decision: which frames of which event
+// the stream wants the CI to analyse, when the request was released on the
+// stream's local clock, and how urgent it is.
+type RelayRequest struct {
+	// Seq numbers the stream's requests in release order (0-based).
+	Seq int
+	// Horizon indexes the timeline's Records/Preds slices; Event is the
+	// event slot k within the task.
+	Horizon int
+	Event   int
+	// EventType is the stream event type to detect (Source.Events()[Event]).
+	EventType int
+	// Win is the absolute frame range to relay.
+	Win video.Interval
+	// SlackFrames is the conformal urgency: the predicted occurrence
+	// interval's start offset from the anchor — how many frames remain
+	// before the event is predicted to begin. Smaller slack means the relay
+	// must reach the CI sooner to be worth anything.
+	SlackFrames int
+	// ReleaseMS is the stream-local simulated time at which the request was
+	// submitted (scan and predict time of all horizons up to and including
+	// this one).
+	ReleaseMS float64
+}
+
+// Timeline is one stream's captured marshalling activity over a region.
+type Timeline struct {
+	Requests []RelayRequest
+	Records  []dataset.Record
+	Preds    []metrics.Prediction
+	// Horizons is the number of prediction steps; Frames the stream frames
+	// covered; LocalMS the total scan+predict time (CI time is owned by the
+	// scheduler that serves the requests).
+	Horizons int
+	Frames   int
+	ScanMS   float64
+	PredMS   float64
+}
+
+// LocalMS returns the stream-local processing time (scan + predict).
+func (tl Timeline) LocalMS() float64 { return tl.ScanMS + tl.PredMS }
+
+// Collect runs the marshalling loop over [start, end] and captures the
+// relay requests instead of serving them. The stage accounting (scan,
+// predict, the local clock) is identical to RunDetailed's; no CI call is
+// made, nothing is billed, and the Marshaller's resilient client is
+// untouched.
+func (m *Marshaller) Collect(start, end int) (Timeline, error) {
+	if start < m.cfg.Window-1 {
+		start = m.cfg.Window - 1
+	}
+	if end > m.ex.Stream().N-1 {
+		end = m.ex.Stream().N - 1
+	}
+	var tl Timeline
+	for t := start; t+m.cfg.Horizon <= end; t += m.cfg.Horizon {
+		rec, err := dataset.BuildRecord(m.ex, t, m.cfg)
+		if err != nil {
+			return Timeline{}, fmt.Errorf("pipeline: collect anchor %d: %w", t, err)
+		}
+		pred := m.strat.Predict(rec)
+		tl.Horizons++
+		scanMS := float64(m.costs.Scan.FramesPerHorizon) * m.costs.Scan.PerFrameMS
+		tl.ScanMS += scanMS
+		tl.PredMS += m.costs.PredictMS
+		m.scanH.Observe(scanMS)
+		m.predictH.Observe(m.costs.PredictMS)
+		release := tl.ScanMS + tl.PredMS
+		horizon := len(tl.Records)
+		for k, occ := range pred.Occur {
+			if !occ {
+				continue
+			}
+			tl.Requests = append(tl.Requests, RelayRequest{
+				Seq:         len(tl.Requests),
+				Horizon:     horizon,
+				Event:       k,
+				EventType:   m.ex.Events()[k],
+				Win:         video.Interval{Start: t + pred.OI[k].Start, End: t + pred.OI[k].End},
+				SlackFrames: pred.OI[k].Start,
+				ReleaseMS:   release,
+			})
+		}
+		tl.Records = append(tl.Records, rec)
+		tl.Preds = append(tl.Preds, pred)
+	}
+	tl.Frames = tl.Horizons * m.cfg.Horizon
+	m.horizonsC.Add(float64(tl.Horizons))
+	return tl, nil
+}

@@ -49,7 +49,8 @@ type Costs struct {
 	PredictMS float64
 	// CIRetries is the number of times a failed CI request is retried
 	// before the relay is abandoned (transient cloud outages); 0 means no
-	// retries. Ignored when Resilience is set.
+	// retries. Setting it together with Resilience is a configuration
+	// error rejected by New: Resilience.MaxAttempts owns the retry budget.
 	CIRetries int
 	// Resilience, when non-nil, fully specifies the CI client's retry/
 	// backoff/timeout/breaker policy. Nil derives a policy from CIRetries
@@ -206,6 +207,12 @@ func New(ex dataset.Source, s strategy.Strategy, ci cloud.Backend, cfg dataset.C
 	}
 	if costs.CIRetries < 0 {
 		return nil, fmt.Errorf("pipeline: negative CIRetries %d", costs.CIRetries)
+	}
+	if costs.CIRetries > 0 && costs.Resilience != nil {
+		// Both knobs configure the same retry budget; silently preferring
+		// Resilience (the old behaviour) hid caller bugs where a tuned
+		// CIRetries value did nothing.
+		return nil, fmt.Errorf("pipeline: CIRetries (%d) and Resilience both set; Resilience.MaxAttempts owns the retry budget", costs.CIRetries)
 	}
 	var rcfg resilience.Config
 	if costs.Resilience != nil {

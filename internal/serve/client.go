@@ -49,7 +49,7 @@ func (c *Client) get(path string, out interface{}) error {
 }
 
 func decodeResponse(resp *http.Response, out interface{}) error {
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var e struct {
 			Error string `json:"error"`
 		}
@@ -83,6 +83,46 @@ func (c *Client) Predict(confidence, coverage float64) (PredictResponse, error) 
 		q.Set("coverage", fmt.Sprintf("%g", coverage))
 	}
 	path := "/v1/predict"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out PredictResponse
+	err := c.post(path, nil, &out)
+	return out, err
+}
+
+// CreateSession registers a new session and returns its id. An empty id
+// asks the server to generate one.
+func (c *Client) CreateSession(id string) (string, error) {
+	var out SessionRequest
+	err := c.post("/v1/sessions", SessionRequest{ID: id}, &out)
+	return out.ID, err
+}
+
+// Sessions lists every session's counters in creation order.
+func (c *Client) Sessions() ([]SessionInfo, error) {
+	var out []SessionInfo
+	err := c.get("/v1/sessions", &out)
+	return out, err
+}
+
+// PushFramesSession is PushFrames scoped to one session.
+func (c *Client) PushFramesSession(id string, frames [][]float64) (FramesResponse, error) {
+	var out FramesResponse
+	err := c.post("/v1/sessions/"+url.PathEscape(id)+"/frames", FramesRequest{Frames: frames}, &out)
+	return out, err
+}
+
+// PredictSession is Predict scoped to one session.
+func (c *Client) PredictSession(id string, confidence, coverage float64) (PredictResponse, error) {
+	q := url.Values{}
+	if confidence > 0 {
+		q.Set("confidence", fmt.Sprintf("%g", confidence))
+	}
+	if coverage > 0 {
+		q.Set("coverage", fmt.Sprintf("%g", coverage))
+	}
+	path := "/v1/sessions/" + url.PathEscape(id) + "/predict"
 	if len(q) > 0 {
 		path += "?" + q.Encode()
 	}

@@ -7,10 +7,21 @@
 // brute-force deployment would have spent so operators can see the saving
 // live.
 //
+// One server hosts many sessions — one per camera stream — all sharing the
+// model, the resilient CI client and (when Config.Fleet is set) one
+// admission arbiter that meters every session's relays against per-session
+// rate buckets and a global spend cap. The un-prefixed endpoints operate on
+// the built-in "default" session, so single-stream clients need no session
+// bookkeeping.
+//
 // API (JSON over HTTP):
 //
 //	POST /v1/frames   {"frames": [[...],[...]]}       -> {"buffered": n, "next": absIndex}
 //	POST /v1/predict  ?confidence=0.9&coverage=0.9    -> per-event decisions
+//	POST /v1/sessions {"id": "cam-7"}                 -> {"id": ...} (id optional)
+//	GET  /v1/sessions                                 -> per-session counters
+//	POST /v1/sessions/{id}/frames                     -> as /v1/frames, for one session
+//	POST /v1/sessions/{id}/predict                    -> as /v1/predict, for one session
 //	GET  /v1/stats                                    -> counters incl. estimated spend
 //	GET  /v1/healthz                                  -> 200 "ok"
 //	GET  /metrics                                     -> Prometheus text exposition
@@ -29,6 +40,7 @@ import (
 
 	"eventhit/internal/cloud"
 	"eventhit/internal/dataset"
+	"eventhit/internal/fleet"
 	"eventhit/internal/obs"
 	"eventhit/internal/resilience"
 	"eventhit/internal/strategy"
@@ -38,11 +50,18 @@ import (
 
 // Request hardening limits: a frames POST may not exceed MaxBodyBytes on
 // the wire or MaxFramesPerPush decoded frames. Oversized batches are a
-// client error (4xx), never an allocation blow-up.
+// client error (4xx), never an allocation blow-up. MaxSessions bounds the
+// session table so an unauthenticated creator cannot grow server memory
+// without bound.
 const (
 	MaxBodyBytes     = 8 << 20
 	MaxFramesPerPush = 4096
+	MaxSessions      = 256
+	MaxSessionID     = 64
 )
+
+// DefaultSession is the implicit session behind the un-prefixed endpoints.
+const DefaultSession = "default"
 
 // Config parametrizes the server.
 type Config struct {
@@ -70,10 +89,31 @@ type Config struct {
 	// Resilience overrides the CI client policy; nil uses
 	// resilience.DefaultConfig(0).
 	Resilience *resilience.Config
+	// Fleet, when non-nil, gates every decided relay through a shared
+	// admission arbiter: per-session token buckets in billed frames plus a
+	// global spend cap (see fleet.Arbiter). A relay the arbiter declines is
+	// marked deferred — the decision is still served, no frames are charged
+	// or sent — reusing the graceful-degradation semantics.
+	Fleet *fleet.ArbiterConfig
 	// EnablePprof mounts net/http/pprof under GET /debug/pprof/*. Off by
 	// default: profiling endpoints expose goroutine stacks and should only
 	// be reachable on operator-trusted listeners.
 	EnablePprof bool
+}
+
+// session is one camera stream's ingest and decision state. All fields are
+// guarded by Server.mu.
+type session struct {
+	id        string
+	buf       [][]float64 // ring of the last `window` frames
+	next      int         // absolute index of the next frame to arrive
+	relays    int64
+	frames    int64
+	predicts  int64
+	skipped   int64
+	relayedOK int64
+	deferred  int64 // CI degradation (retries exhausted, breaker open)
+	admitDef  int64 // fleet arbiter declined admission (rate or budget)
 }
 
 // Server is the HTTP marshalling service. Create with New; it implements
@@ -88,14 +128,11 @@ type Server struct {
 	// predictMu serializes model inference: core.Model caches activations
 	// and is not safe for concurrent Predict calls.
 	predictMu sync.Mutex
-	buf       [][]float64 // ring of the last `window` frames
-	next      int         // absolute index of the next frame to arrive
-	relays    int64
-	frames    int64
-	predicts  int64
-	skipped   int64
-	relayedOK int64
-	deferred  int64
+	// sessions and order (creation order, for deterministic listing) are
+	// guarded by mu. The default session exists from construction.
+	sessions map[string]*session
+	order    []string
+	seq      int // generated session id counter
 
 	// relaySnap is the committed relay/CI view, guarded by mu. handlePredict
 	// refreshes it in the same critical section that commits the request's
@@ -113,8 +150,14 @@ type Server struct {
 
 	// relay is the resilient CI client (nil when Config.CI is unset). Its
 	// clock advances only with CI activity: breaker cooldowns elapse in
-	// simulated CI milliseconds.
+	// simulated CI milliseconds. Shared by every session: the point of the
+	// fleet layer is one CI channel behind many streams.
 	relay *resilience.Client
+
+	// arbiter meters relays across sessions (nil when Config.Fleet is
+	// unset). It is internally synchronized and must be consulted outside
+	// mu.
+	arbiter *fleet.Arbiter
 
 	// metrics is the per-server registry behind GET /metrics. It only ever
 	// observes already-computed values (wall-clock request latency, snapshot
@@ -150,13 +193,16 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: %d CI event mappings for %d events", len(cfg.CIEvents), mc.NumEvents)
 	}
 	s := &Server{
-		cfg:     cfg,
-		window:  mc.Window,
-		horizon: mc.Horizon,
-		k:       mc.NumEvents,
-		metrics: obs.NewRegistry(),
-		mux:     http.NewServeMux(),
+		cfg:      cfg,
+		window:   mc.Window,
+		horizon:  mc.Horizon,
+		k:        mc.NumEvents,
+		sessions: make(map[string]*session),
+		metrics:  obs.NewRegistry(),
+		mux:      http.NewServeMux(),
 	}
+	s.sessions[DefaultSession] = &session{id: DefaultSession}
+	s.order = append(s.order, DefaultSession)
 	if cfg.CI != nil {
 		rcfg := resilience.DefaultConfig(0)
 		if cfg.Resilience != nil {
@@ -166,9 +212,21 @@ func New(cfg Config) (*Server, error) {
 		s.relay.Register(s.metrics, nil)
 		cloud.RegisterUsage(s.metrics, nil, cfg.CI)
 	}
+	if cfg.Fleet != nil {
+		arb, err := fleet.NewArbiter(*cfg.Fleet)
+		if err != nil {
+			return nil, err
+		}
+		s.arbiter = arb
+		arb.Register(s.metrics, nil)
+	}
 	s.registerServeMetrics()
-	s.mux.HandleFunc("POST /v1/frames", s.instrument("/v1/frames", s.handleFrames))
-	s.mux.HandleFunc("POST /v1/predict", s.instrument("/v1/predict", s.handlePredict))
+	s.mux.HandleFunc("POST /v1/frames", s.instrument("/v1/frames", s.forSession("", s.handleFrames)))
+	s.mux.HandleFunc("POST /v1/predict", s.instrument("/v1/predict", s.forSession("", s.handlePredict)))
+	s.mux.HandleFunc("POST /v1/sessions", s.instrument("/v1/sessions", s.handleSessionCreate))
+	s.mux.HandleFunc("GET /v1/sessions", s.instrument("/v1/sessions", s.handleSessionList))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/frames", s.instrument("/v1/sessions/frames", s.forSession("id", s.handleFrames)))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/predict", s.instrument("/v1/sessions/predict", s.forSession("id", s.handlePredict)))
 	s.mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
 	s.mux.HandleFunc("GET /v1/healthz", s.instrument("/v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -200,6 +258,8 @@ func (s *Server) registerServeMetrics() {
 		{"eventhit_serve_frames_to_cloud_total", "frames inside decided relay ranges", func(st Stats) float64 { return float64(st.FramesToCloud) }},
 		{"eventhit_serve_relayed_ok_total", "server-side relays served by the CI", func(st Stats) float64 { return float64(st.RelayedOK) }},
 		{"eventhit_serve_deferred_relays_total", "server-side relays lost to degradation", func(st Stats) float64 { return float64(st.DeferredRelays) }},
+		{"eventhit_serve_admission_deferred_total", "relays declined by the fleet arbiter", func(st Stats) float64 { return float64(st.AdmissionDeferred) }},
+		{"eventhit_serve_sessions", "sessions hosted by this server", func(st Stats) float64 { return float64(st.Sessions) }},
 		{"eventhit_serve_estimated_usd_total", "estimated spend of decided relays", func(st Stats) float64 { return st.EstimatedUSD }},
 		{"eventhit_serve_brute_force_usd_total", "what relaying every horizon would cost", func(st Stats) float64 { return st.BruteForceUSD }},
 	}
@@ -240,6 +300,26 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// forSession adapts a session-scoped handler to an endpoint: pathParam ""
+// binds the default session (legacy single-stream endpoints), otherwise the
+// session is resolved from the named path segment and an unknown id is 404.
+func (s *Server) forSession(pathParam string, h func(*session, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := DefaultSession
+		if pathParam != "" {
+			id = r.PathValue(pathParam)
+		}
+		s.mu.Lock()
+		sess := s.sessions[id]
+		s.mu.Unlock()
+		if sess == nil {
+			httpError(w, http.StatusNotFound, "unknown session %q", id)
+			return
+		}
+		h(sess, w, r)
+	}
+}
+
 func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -249,6 +329,80 @@ func httpError(w http.ResponseWriter, code int, format string, args ...interface
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(v)
+}
+
+// SessionRequest is the POST /v1/sessions body. ID is optional; the server
+// generates s1, s2, ... when absent.
+type SessionRequest struct {
+	ID string `json:"id"`
+}
+
+// SessionInfo is one session's row in GET /v1/sessions.
+type SessionInfo struct {
+	ID                string `json:"id"`
+	FramesIngested    int    `json:"framesIngested"`
+	Predictions       int64  `json:"predictions"`
+	Relays            int64  `json:"relays"`
+	RelayedOK         int64  `json:"relayedOK"`
+	DeferredRelays    int64  `json:"deferredRelays"`
+	AdmissionDeferred int64  `json:"admissionDeferred"`
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	var req SessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if len(req.ID) > MaxSessionID {
+		httpError(w, http.StatusBadRequest, "session id longer than %d bytes", MaxSessionID)
+		return
+	}
+	s.mu.Lock()
+	if len(s.sessions) >= MaxSessions {
+		s.mu.Unlock()
+		httpError(w, http.StatusTooManyRequests, "session table full (%d)", MaxSessions)
+		return
+	}
+	id := req.ID
+	if id == "" {
+		for {
+			s.seq++
+			id = fmt.Sprintf("s%d", s.seq)
+			if s.sessions[id] == nil {
+				break
+			}
+		}
+	} else if s.sessions[id] != nil {
+		s.mu.Unlock()
+		httpError(w, http.StatusConflict, "session %q already exists", id)
+		return
+	}
+	s.sessions[id] = &session{id: id}
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, SessionRequest{ID: id})
+}
+
+func (s *Server) handleSessionList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := make([]SessionInfo, 0, len(s.order))
+	for _, id := range s.order {
+		sess := s.sessions[id]
+		out = append(out, SessionInfo{
+			ID:                sess.id,
+			FramesIngested:    sess.next,
+			Predictions:       sess.predicts,
+			Relays:            sess.relays,
+			RelayedOK:         sess.relayedOK,
+			DeferredRelays:    sess.deferred,
+			AdmissionDeferred: sess.admitDef,
+		})
+	}
+	s.mu.Unlock()
+	writeJSON(w, out)
 }
 
 // FramesRequest is the POST /v1/frames body.
@@ -262,7 +416,7 @@ type FramesResponse struct {
 	Next     int `json:"next"`     // absolute index of the next frame
 }
 
-func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleFrames(sess *session, w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
 	var req FramesRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -298,13 +452,13 @@ func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {
 	for _, f := range req.Frames {
 		fc := make([]float64, d)
 		copy(fc, f)
-		s.buf = append(s.buf, fc)
-		if len(s.buf) > s.window {
-			s.buf = s.buf[1:]
+		sess.buf = append(sess.buf, fc)
+		if len(sess.buf) > s.window {
+			sess.buf = sess.buf[1:]
 		}
-		s.next++
+		sess.next++
 	}
-	resp := FramesResponse{Buffered: len(s.buf), Next: s.next}
+	resp := FramesResponse{Buffered: len(sess.buf), Next: sess.next}
 	s.mu.Unlock()
 	writeJSON(w, resp)
 }
@@ -317,9 +471,10 @@ type Decision struct {
 	// (inclusive); zero when Relay is false.
 	Start int `json:"start,omitempty"`
 	End   int `json:"end,omitempty"`
-	// Deferred reports that the server-side CI relay could not be served
-	// (circuit open or retries exhausted); the decision stands but no
-	// frames reached the cloud. Only set when the server owns the relay.
+	// Deferred reports that the relay did not reach the cloud: either the
+	// fleet arbiter declined admission (rate or budget), or the server-side
+	// CI relay could not be served (circuit open, retries exhausted). The
+	// decision stands but no frames were sent or charged.
 	Deferred bool `json:"deferred,omitempty"`
 	// Detections is the number of true event segments the CI returned for
 	// a served relay. Only set when the server owns the relay.
@@ -335,7 +490,7 @@ type PredictResponse struct {
 	Decisions  []Decision `json:"decisions"`
 }
 
-func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handlePredict(sess *session, w http.ResponseWriter, r *http.Request) {
 	conf, cov := s.cfg.DefaultConfidence, s.cfg.DefaultCoverage
 	// Knob validation uses the positive form !(f > 0 && f <= 1): NaN fails
 	// every comparison, so "confidence=NaN" (which ParseFloat accepts) is
@@ -357,15 +512,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		cov = f
 	}
 	s.mu.Lock()
-	if len(s.buf) < s.window {
-		n := len(s.buf)
+	if len(sess.buf) < s.window {
+		n := len(sess.buf)
 		s.mu.Unlock()
 		httpError(w, http.StatusConflict, "window not full: %d of %d frames buffered", n, s.window)
 		return
 	}
 	x := make([][]float64, s.window)
-	copy(x, s.buf)
-	anchor := s.next - 1
+	copy(x, sess.buf)
+	anchor := sess.next - 1
 	s.mu.Unlock()
 
 	s.predictMu.Lock()
@@ -379,7 +534,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		defer s.relayMu.Unlock()
 	}
 	resp := PredictResponse{Anchor: anchor, HorizonEnd: anchor + s.horizon}
-	var relays, frames, relayedOK, deferred int64
+	var relays, frames, relayedOK, deferred, admitDef int64
 	skipped := int64(0)
 	for k := 0; k < s.k; k++ {
 		d := Decision{Event: s.cfg.EventNames[k]}
@@ -388,21 +543,35 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			abs := video.Interval{Start: anchor + pred.OI[k].Start, End: anchor + pred.OI[k].End}
 			d.Start, d.End = abs.Start, abs.End
 			relays++
-			frames += int64(abs.Len())
-			if s.relay != nil {
-				et := k
-				if s.cfg.CIEvents != nil {
-					et = s.cfg.CIEvents[k]
-				}
-				res, err := s.relay.Detect(et, abs)
-				if err != nil {
-					// Graceful degradation: the decision is served to the
-					// caller regardless; the relay is recorded as deferred.
+			admitted := true
+			if s.arbiter != nil {
+				// The arbiter meters decided relays whether the server or the
+				// caller ships the frames: a declined relay is deferred and
+				// its frames never count against EstimatedUSD's "to cloud"
+				// tally below.
+				if v := s.arbiter.Admit(sess.id, abs.Len()); v != fleet.Admit {
+					admitted = false
 					d.Deferred = true
-					deferred++
-				} else {
-					d.Detections = len(res.Det.Found)
-					relayedOK++
+					admitDef++
+				}
+			}
+			if admitted {
+				frames += int64(abs.Len())
+				if s.relay != nil {
+					et := k
+					if s.cfg.CIEvents != nil {
+						et = s.cfg.CIEvents[k]
+					}
+					res, err := s.relay.Detect(et, abs)
+					if err != nil {
+						// Graceful degradation: the decision is served to the
+						// caller regardless; the relay is recorded as deferred.
+						d.Deferred = true
+						deferred++
+					} else {
+						d.Detections = len(res.Det.Found)
+						relayedOK++
+					}
 				}
 			}
 		} else {
@@ -422,12 +591,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Lock()
-	s.predicts++
-	s.relays += relays
-	s.frames += frames
-	s.skipped += skipped
-	s.relayedOK += relayedOK
-	s.deferred += deferred
+	sess.predicts++
+	sess.relays += relays
+	sess.frames += frames
+	sess.skipped += skipped
+	sess.relayedOK += relayedOK
+	sess.deferred += deferred
+	sess.admitDef += admitDef
 	if s.relay != nil {
 		s.relaySnap = relaySnapshot{
 			stats:   s.relay.Stats(),
@@ -439,12 +609,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// Stats is the GET /v1/stats body. RelayEnabled reports whether the server
-// owns the relay (Config.CI set); the CI*/relay numeric fields are always
-// present — a zero must be distinguishable from an omitted field, and prior
-// to RelayEnabled a client could not tell "relay disabled" from "relay
-// enabled, nothing deferred yet" because omitempty dropped both. Only the
-// breakerState string is omitted when there is no breaker to report.
+// Stats is the GET /v1/stats body, totalled across every session.
+// RelayEnabled reports whether the server owns the relay (Config.CI set);
+// the CI*/relay numeric fields are always present — a zero must be
+// distinguishable from an omitted field, and prior to RelayEnabled a client
+// could not tell "relay disabled" from "relay enabled, nothing deferred
+// yet" because omitempty dropped both. Only the breakerState string is
+// omitted when there is no breaker to report. FleetEnabled plays the same
+// role for the admission fields.
 type Stats struct {
 	FramesIngested  int     `json:"framesIngested"`
 	Predictions     int64   `json:"predictions"`
@@ -453,6 +625,7 @@ type Stats struct {
 	FramesToCloud   int64   `json:"framesToCloud"`
 	EstimatedUSD    float64 `json:"estimatedUSD"`
 	BruteForceUSD   float64 `json:"bruteForceUSD"`
+	Sessions        int     `json:"sessions"`
 	// Server-side relay health (zero values when the caller relays).
 	RelayEnabled     bool    `json:"relayEnabled"`
 	RelayedOK        int64   `json:"relayedOK"`
@@ -464,6 +637,11 @@ type Stats struct {
 	CISpentUSD       float64 `json:"ciSpentUSD"`
 	BreakerTrips     int64   `json:"breakerTrips"`
 	BreakerState     string  `json:"breakerState,omitempty"`
+	// Fleet admission control (zero values when Config.Fleet is unset).
+	FleetEnabled      bool    `json:"fleetEnabled"`
+	AdmissionDeferred int64   `json:"admissionDeferred"`
+	AdmittedUSD       float64 `json:"admittedUSD"`
+	BudgetUSD         float64 `json:"budgetUSD"`
 }
 
 // snapshot assembles Stats from one critical section. The relay/CI fields
@@ -472,19 +650,23 @@ type Stats struct {
 // tear-free: counters and CI health were captured at the same instant.
 func (s *Server) snapshot() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := Stats{
-		FramesIngested:  s.next,
-		Predictions:     s.predicts,
-		Relays:          s.relays,
-		SkippedHorizons: s.skipped,
-		FramesToCloud:   s.frames,
-		EstimatedUSD:    float64(s.frames) * s.cfg.PerFrameUSD,
-		BruteForceUSD:   float64(s.predicts) * float64(s.horizon) * float64(s.k) * s.cfg.PerFrameUSD,
-		RelayEnabled:    s.relay != nil,
-		RelayedOK:       s.relayedOK,
-		DeferredRelays:  s.deferred,
+		Sessions:     len(s.sessions),
+		RelayEnabled: s.relay != nil,
+		FleetEnabled: s.arbiter != nil,
 	}
+	for _, sess := range s.sessions {
+		st.FramesIngested += sess.next
+		st.Predictions += sess.predicts
+		st.Relays += sess.relays
+		st.SkippedHorizons += sess.skipped
+		st.FramesToCloud += sess.frames
+		st.RelayedOK += sess.relayedOK
+		st.DeferredRelays += sess.deferred
+		st.AdmissionDeferred += sess.admitDef
+	}
+	st.EstimatedUSD = float64(st.FramesToCloud) * s.cfg.PerFrameUSD
+	st.BruteForceUSD = float64(st.Predictions) * float64(s.horizon) * float64(s.k) * s.cfg.PerFrameUSD
 	if s.relay != nil {
 		st.CIFailedAttempts = s.relaySnap.stats.Failures
 		st.CIRetried = s.relaySnap.stats.Retries
@@ -493,6 +675,14 @@ func (s *Server) snapshot() Stats {
 		st.CISpentUSD = s.relaySnap.usage.SpentUSD
 		st.BreakerTrips = s.relaySnap.stats.Trips
 		st.BreakerState = s.relaySnap.breaker.String()
+	}
+	s.mu.Unlock()
+	// The arbiter is internally synchronized; read it outside mu to keep
+	// the lock order flat.
+	if s.arbiter != nil {
+		as := s.arbiter.Stats()
+		st.AdmittedUSD = as.AdmittedUSD
+		st.BudgetUSD = as.GlobalBudgetUSD
 	}
 	return st
 }

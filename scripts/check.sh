@@ -10,6 +10,10 @@
 #   fuzz seeds the checked-in fuzz corpus (testdata/fuzz/) executed as
 #              ordinary tests, no fuzzing engine; use
 #              `go test ./internal/serve/ -fuzz FuzzFrames` to explore
+#   fleet      the scheduler's concurrent-admission + starvation tests under
+#              -race, then regenerate BENCH_fleet.json at two parallelism
+#              levels and require all three byte-identical: the committed
+#              report is provably reproducible on this machine
 set -eu
 
 echo "== gofmt =="
@@ -35,5 +39,21 @@ go test -race ./internal/obs/ -run 'TestConcurrentUpdatesAndScrapes' -count=1
 
 echo "== fuzz seed corpus (run mode) =="
 go test ./internal/serve/ -run 'Fuzz' -count=1
+
+echo "== fleet scheduler (race + golden schema) =="
+go test -race ./internal/fleet/ -count=1
+go test ./internal/harness/ -run 'TestFleetGoldenJSONShape|TestFleetExperimentDeterministicAcrossParallelism' -count=1
+
+echo "== BENCH_fleet.json regeneration (byte-identical at parallelism 1 and 4) =="
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go run ./cmd/eventhitfleet -quick -streams 3 -frames 20000 -seed 5 \
+    -budget 0.5 -streamrate 600 -streamburst 3000 -parallelism 1 \
+    -out "$tmpdir/fleet_p1.json" >/dev/null
+go run ./cmd/eventhitfleet -quick -streams 3 -frames 20000 -seed 5 \
+    -budget 0.5 -streamrate 600 -streamburst 3000 -parallelism 4 \
+    -out "$tmpdir/fleet_p4.json" >/dev/null
+cmp "$tmpdir/fleet_p1.json" "$tmpdir/fleet_p4.json"
+cmp "$tmpdir/fleet_p1.json" BENCH_fleet.json
 
 echo "OK"
