@@ -46,7 +46,7 @@ func writeJSONFile(path string, v interface{}) error {
 
 func main() {
 	var (
-		exp         = flag.String("exp", "", "experiment to run (table1, table2, fig4[all], fig5..fig10, resources, ablation, drift, multi, geom, validity, operate, tune, summary, loss, parbench, resilience, all)")
+		exp         = flag.String("exp", "", "experiment to run (table1, table2, fig4[all], fig5..fig10, resources, ablation, drift, multi, geom, validity, operate, tune, summary, loss, parbench, resilience, cache, all)")
 		task        = flag.String("task", "TA1", "task for single-task experiments (fig4, resources, loss)")
 		trials      = flag.Int("trials", 3, "independent trials to average (the paper uses 10)")
 		seed        = flag.Int64("seed", 1, "base random seed")
@@ -56,6 +56,7 @@ func main() {
 		parallelism = flag.Int("parallelism", runtime.NumCPU(), "concurrent experiment cells (trials/tasks/settings); results are identical at any value")
 		benchOut    = flag.String("benchout", "BENCH_parallel.json", "output file for the parbench experiment")
 		resOut      = flag.String("resout", "BENCH_resilience.json", "output file for the resilience experiment")
+		cacheOut    = flag.String("cacheout", "BENCH_cache.json", "output file for the cache experiment")
 		metricsOut  = flag.String("metricsout", "", "after all experiments, dump the process metrics registry (Prometheus text) to this file")
 	)
 	flag.Parse()
@@ -164,6 +165,17 @@ func main() {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *resOut)
+			return nil
+		case "cache":
+			res, err := harness.CacheSweep(*task, opt, 4, 30_000,
+				harness.CacheFleetPolicy(*parallelism), nil, nil, *seed, os.Stdout)
+			if err != nil {
+				return err
+			}
+			if err := writeJSONFile(*cacheOut, res); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *cacheOut)
 			return nil
 		case "parbench":
 			res, err := harness.ParallelBench(opt, *seed, *parallelism, *trials, os.Stdout)

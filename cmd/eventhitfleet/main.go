@@ -6,6 +6,8 @@
 //
 //	eventhitfleet -task TA10 -streams 4 -budget 2.5
 //	eventhitfleet -quick -streams 8 -frames 20000 -out BENCH_fleet.json
+//	eventhitfleet -quick -cache -cacheeps 0.25 -streams 4
+//	eventhitfleet -quick -cachesweep -streams 4 -cacheout BENCH_cache.json
 //
 // Same -seed + stream count + policy => byte-identical JSON at any
 // -parallelism: stream timelines are pure, so only their computation is
@@ -20,6 +22,7 @@ import (
 	"runtime"
 	"time"
 
+	"eventhit/internal/cicache"
 	"eventhit/internal/fleet"
 	"eventhit/internal/harness"
 )
@@ -38,6 +41,11 @@ func main() {
 		queueMax    = flag.Int("queuemax", 64, "pending-queue bound; lowest-urgency relays are shed beyond it (0 = unbounded)")
 		batchMax    = flag.Int("batchmax", 8, "max relays per CI batch call")
 		out         = flag.String("out", "BENCH_fleet.json", "output file for the fleet report")
+		cache       = flag.Bool("cache", false, "share a content-addressed CI result cache across the fleet")
+		cacheEps    = flag.Float64("cacheeps", 0, "cache signature grid tolerance (0 = exact match only)")
+		cacheTTL    = flag.Int("cachettl", 30_000, "cache entry TTL in simulated frames")
+		cacheSweep  = flag.Bool("cachesweep", false, "run the cache epsilon x TTL sweep over a paired-scene workload instead of the fleet benchmark")
+		cacheOut    = flag.String("cacheout", "BENCH_cache.json", "output file for the -cachesweep report")
 	)
 	flag.Parse()
 
@@ -46,6 +54,20 @@ func main() {
 		opt = harness.Quick()
 	}
 	harness.SetParallelism(*parallelism)
+	if *cacheSweep {
+		// The sweep fixes its own scheduler policy (unbounded queue,
+		// uncapped budget) so the cache's effect on the bill is isolated
+		// from admission control; only -parallelism carries over.
+		t0 := time.Now()
+		res, err := harness.CacheSweep(*task, opt, *streams, *frames,
+			harness.CacheFleetPolicy(*parallelism), nil, nil, *seed, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[cache sweep done in %s]\n", time.Since(t0).Round(time.Millisecond))
+		writeJSON(*cacheOut, res)
+		return
+	}
 	fcfg := fleet.DefaultConfig()
 	fcfg.Parallelism = *parallelism
 	fcfg.GlobalBudgetUSD = *budget
@@ -53,6 +75,12 @@ func main() {
 	fcfg.StreamBurst = *streamBurst
 	fcfg.QueueMax = *queueMax
 	fcfg.BatchMax = *batchMax
+	if *cache {
+		cc := cicache.DefaultConfig()
+		cc.Epsilon = *cacheEps
+		cc.TTLFrames = *cacheTTL
+		fcfg.Cache = &cc
+	}
 
 	t0 := time.Now()
 	res, err := harness.Fleet(*task, opt, *streams, *frames, fcfg, *seed, os.Stdout)
@@ -60,21 +88,24 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "[fleet done in %s]\n", time.Since(t0).Round(time.Millisecond))
+	writeJSON(*out, res)
+}
 
-	f, err := os.Create(*out)
+func writeJSON(path string, v interface{}) {
+	f, err := os.Create(path)
 	if err != nil {
 		fatal(err)
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	err = enc.Encode(res)
+	err = enc.Encode(v)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }
 
 func fatal(err error) {

@@ -26,35 +26,53 @@ import (
 	"syscall"
 	"time"
 
+	"eventhit/internal/cicache"
 	"eventhit/internal/cloud"
 	"eventhit/internal/fleet"
 	"eventhit/internal/harness"
 	"eventhit/internal/serve"
 	"eventhit/internal/strategy"
 	"eventhit/internal/trace"
+	"eventhit/internal/video"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		bundlePath = flag.String("bundle", "", "bundle file saved by eventhittrain (empty: train at startup)")
-		task       = flag.String("task", "TA10", "Table II task (event names; training when no -bundle)")
-		confidence = flag.Float64("confidence", 0.9, "default C-CLASSIFY confidence")
-		coverage   = flag.Float64("coverage", 0.9, "default C-REGRESS coverage")
-		seed       = flag.Int64("seed", 1, "random seed for on-the-fly training")
-		tracePath  = flag.String("trace", "", "append a JSON-lines decision audit trail to this file")
-		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (trusted listeners only)")
-		budget     = flag.Float64("budget", 0, "global CI spend cap in USD across all sessions (0 = no fleet arbiter)")
-		streamRate = flag.Float64("streamrate", 0, "per-session CI admission rate, billed frames/sec (0 = unmetered)")
-		drain      = flag.Duration("drain", 10*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
+		addr        = flag.String("addr", ":8080", "listen address")
+		bundlePath  = flag.String("bundle", "", "bundle file saved by eventhittrain (empty: train at startup)")
+		task        = flag.String("task", "TA10", "Table II task (event names; training when no -bundle)")
+		confidence  = flag.Float64("confidence", 0.9, "default C-CLASSIFY confidence")
+		coverage    = flag.Float64("coverage", 0.9, "default C-REGRESS coverage")
+		seed        = flag.Int64("seed", 1, "random seed for on-the-fly training")
+		tracePath   = flag.String("trace", "", "append a JSON-lines decision audit trail to this file")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (trusted listeners only)")
+		cacheOn     = flag.Bool("cache", false, "interpose a content-addressed CI result cache on the server-owned relay")
+		cacheEps    = flag.Float64("cacheeps", 0, "cache signature grid tolerance (0 = exact match only)")
+		budget      = flag.Float64("budget", 0, "global CI spend cap in USD across all sessions (0 = no fleet arbiter)")
+		streamRate  = flag.Float64("streamrate", 0, "per-session CI admission rate, billed frames/sec (0 = unmetered)")
+		streamBurst = flag.Float64("streamburst", 0, "per-session burst headroom in billed frames (0 = one second of -streamrate)")
+		drain       = flag.Duration("drain", 10*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
+	// A negative budget or rate silently disables the arbiter (the > 0
+	// guards below never fire), which is almost certainly a typo for a cap
+	// the operator wanted. Reject it loudly instead.
+	if *budget < 0 {
+		fatal(fmt.Errorf("-budget must be >= 0, got %v", *budget))
+	}
+	if *streamRate < 0 {
+		fatal(fmt.Errorf("-streamrate must be >= 0, got %v", *streamRate))
+	}
+	if *streamBurst < 0 {
+		fatal(fmt.Errorf("-streamburst must be >= 0, got %v", *streamBurst))
+	}
 
 	t, err := harness.TaskByName(*task)
 	if err != nil {
 		fatal(err)
 	}
 	var bundle *strategy.Bundle
+	var stream *video.Stream
 	if *bundlePath != "" {
 		f, err := os.Open(*bundlePath)
 		if err != nil {
@@ -73,6 +91,7 @@ func main() {
 			fatal(err)
 		}
 		bundle = env.Bundle
+		stream = env.Stream
 	}
 	if bundle.Model.Config().NumEvents != t.NumEvents() {
 		fatal(fmt.Errorf("bundle has %d events, task %s has %d",
@@ -90,14 +109,37 @@ func main() {
 		DefaultCoverage:   *coverage,
 		EnablePprof:       *pprofOn,
 	}
+	if *cacheOn {
+		// The cache interposes on the server-owned relay, which needs the
+		// simulated CI — and the CI needs the generated ground-truth
+		// stream, so this mode only exists with on-the-fly training.
+		if stream == nil {
+			fatal(fmt.Errorf("-cache requires on-the-fly training (omit -bundle): the simulated CI backend needs the generated stream"))
+		}
+		if *cacheEps < 0 {
+			fatal(fmt.Errorf("-cacheeps must be >= 0, got %v", *cacheEps))
+		}
+		scfg.CI = cloud.NewService(stream, cloud.RekognitionPricing(), cloud.DefaultLatency())
+		scfg.CIEvents = t.EventIdx
+		cc := cicache.DefaultConfig()
+		cc.Epsilon = *cacheEps
+		scfg.Cache = &cc
+		log.Printf("CI result cache on: epsilon %g, TTL %d frames (server-owned relay to a simulated CI)",
+			cc.Epsilon, cc.TTLFrames)
+	}
 	if *budget > 0 || *streamRate > 0 {
+		burst := *streamBurst
+		if burst == 0 {
+			burst = *streamRate // one second of burst headroom
+		}
 		scfg.Fleet = &fleet.ArbiterConfig{
 			PerFrameUSD:       scfg.PerFrameUSD,
 			GlobalBudgetUSD:   *budget,
 			SessionRatePerSec: *streamRate,
-			SessionBurst:      *streamRate, // one second of burst headroom
+			SessionBurst:      burst,
 		}
-		log.Printf("fleet arbiter on: budget $%.4f, per-session rate %.1f frames/s", *budget, *streamRate)
+		log.Printf("fleet arbiter on: budget $%.4f, per-session rate %.1f frames/s, burst %.0f frames",
+			*budget, *streamRate, burst)
 	}
 	if *tracePath != "" {
 		tf, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

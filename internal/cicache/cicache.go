@@ -1,0 +1,427 @@
+// Package cicache is a content-addressed cache for CI verdicts: the dedup
+// layer that turns repetitive video into unbilled hits. Video is
+// overwhelmingly redundant — the observation behind Event Neural Networks
+// and THIA's cost-aware planning — so a relay whose covariate window is
+// (near-)identical to one the CI already judged can be answered from
+// memory: zero billing, zero CI busy time.
+//
+// The key is a quantized signature of the relay decision's inputs: the
+// covariate window the predictor saw, the task's event set, the event type
+// being relayed, and the predicted occurrence interval relative to the
+// anchor. The grid tolerance ε controls how aggressively near-identical
+// windows collapse onto one key: ε=0 hashes exact float bits (exact-match
+// only — the safe setting, byte-identical to no cache on workloads without
+// exact repeats), ε>0 buckets every channel to round(v/ε) so ε-close
+// windows share a verdict, trading recall honesty for savings. The cached
+// verdict stores occurrence intervals RELATIVE to the signed window, so a
+// hit at a different absolute position re-anchors cleanly.
+//
+// The store is a sharded LRU with deterministic eviction (pure function of
+// the Get/Put sequence), per-entry TTL measured in simulated frames (video
+// drifts; a verdict about frame 1000 says little about frame 500_000), and
+// a doorkeeper admission policy that skips caching one-off signatures so
+// unrepetitive streams cannot churn the working set.
+package cicache
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+	"sync"
+
+	"eventhit/internal/obs"
+	"eventhit/internal/video"
+)
+
+// Config parametrizes a cache.
+type Config struct {
+	// Epsilon is the signature grid tolerance: channel values are bucketed
+	// to round(v/Epsilon) before hashing. 0 means exact-match only (raw
+	// float bits). Negative is invalid.
+	Epsilon float64
+	// TTLFrames bounds an entry's useful life in simulated frames: a hit is
+	// only served while now - insertedAt <= TTLFrames (both measured as the
+	// signed window's start frame). 0 disables expiry.
+	TTLFrames int
+	// Capacity bounds the total entries across all shards; the least
+	// recently used entry of the overflowing shard is evicted. 0 uses
+	// DefaultCapacity.
+	Capacity int
+	// Shards is the number of independently locked LRU shards. 0 uses
+	// DefaultShards.
+	Shards int
+	// AdmitMinSeen is the doorkeeper threshold: a verdict is only stored
+	// once its key has been offered AdmitMinSeen times (<= 1 admits
+	// everything). One-off signatures never enter the LRU, so they cannot
+	// evict entries that will repeat.
+	AdmitMinSeen int
+}
+
+// Defaults for the zero Config knobs.
+const (
+	DefaultCapacity = 4096
+	DefaultShards   = 8
+)
+
+// DefaultConfig returns an exact-match cache: ε=0, a 30k-frame TTL
+// (~1000 s at 30 fps), default capacity and sharding, admit-on-first-offer.
+func DefaultConfig() Config {
+	return Config{Epsilon: 0, TTLFrames: 30_000, Capacity: DefaultCapacity, Shards: DefaultShards, AdmitMinSeen: 1}
+}
+
+// Validate rejects malformed configurations.
+func (c Config) Validate() error {
+	if c.Epsilon < 0 || math.IsNaN(c.Epsilon) || math.IsInf(c.Epsilon, 0) {
+		return fmt.Errorf("cicache: Epsilon must be a finite value >= 0, got %v", c.Epsilon)
+	}
+	if c.TTLFrames < 0 {
+		return fmt.Errorf("cicache: negative TTLFrames %d", c.TTLFrames)
+	}
+	if c.Capacity < 0 {
+		return fmt.Errorf("cicache: negative Capacity %d", c.Capacity)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("cicache: negative Shards %d", c.Shards)
+	}
+	if c.AdmitMinSeen < 0 {
+		return fmt.Errorf("cicache: negative AdmitMinSeen %d", c.AdmitMinSeen)
+	}
+	return nil
+}
+
+// Key is a 128-bit content address.
+type Key struct{ Hi, Lo uint64 }
+
+// Two independent FNV-1a lanes with distinct offset bases, finalized with
+// an avalanche mix. 128 bits keeps accidental collisions out of reach of
+// any realistic working set.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+	laneSplit = 0x9e3779b97f4a7c15 // second lane's offset perturbation
+)
+
+type hasher struct{ h1, h2 uint64 }
+
+func newHasher(domain uint64) hasher {
+	h := hasher{fnvOffset, fnvOffset ^ laneSplit}
+	h.word(domain)
+	return h
+}
+
+func (h *hasher) word(v uint64) {
+	for i := 0; i < 64; i += 8 {
+		b := uint64(byte(v >> i))
+		h.h1 = (h.h1 ^ b) * fnvPrime
+		h.h2 = (h.h2 ^ (b + 1)) * fnvPrime
+	}
+}
+
+func mix(v uint64) uint64 {
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	return v ^ v>>33
+}
+
+func (h hasher) key() Key { return Key{Hi: mix(h.h1), Lo: mix(h.h2)} }
+
+// Domain tags keep signature families disjoint: a SignWindow key can never
+// be confused with an ExactKey one.
+const (
+	domainWindow = 0x57494e444f573031 // "WINDOW01"
+	domainExact  = 0x4558414354573031 // "EXACTW01"
+)
+
+func quantize(v, eps float64) uint64 {
+	if eps > 0 {
+		return uint64(int64(math.Round(v / eps)))
+	}
+	return math.Float64bits(v)
+}
+
+// SignWindow keys one relay decision by content: the covariate window x
+// (M frames x D channels) the predictor saw, the task's event set, the
+// event type being relayed, and the predicted occurrence interval RELATIVE
+// to the anchor. Two relays with ε-identical windows and identical
+// predictions collapse onto one key regardless of their absolute stream
+// position — that is what makes the verdict transferable.
+func SignWindow(x [][]float64, events []int, eventType int, rel video.Interval, eps float64) Key {
+	h := newHasher(domainWindow)
+	h.word(quantize(eps, 0)) // ε is part of the address space: caches at different ε never alias
+	h.word(uint64(len(x)))
+	for _, row := range x {
+		h.word(uint64(len(row)))
+		for _, v := range row {
+			h.word(quantize(v, eps))
+		}
+	}
+	h.word(uint64(len(events)))
+	for _, e := range events {
+		h.word(uint64(int64(e)))
+	}
+	h.word(uint64(int64(eventType)))
+	h.word(uint64(int64(rel.Start)))
+	h.word(uint64(int64(rel.End)))
+	return h.key()
+}
+
+// ExactKey keys a raw (event type, absolute window) request — the
+// exact-match dedup used when no feature signature is available
+// (cloud.CachedBackend's unkeyed path).
+func ExactKey(eventType int, win video.Interval) Key {
+	h := newHasher(domainExact)
+	h.word(uint64(int64(eventType)))
+	h.word(uint64(int64(win.Start)))
+	h.word(uint64(int64(win.End)))
+	return h.key()
+}
+
+// Verdict is a cached CI answer: detected occurrence intervals relative to
+// the signed window's start frame.
+type Verdict struct {
+	Rel []video.Interval
+}
+
+// Relativize converts a detection's absolute intervals into a Verdict
+// anchored at win.Start.
+func Relativize(found []video.Interval, win video.Interval) Verdict {
+	if len(found) == 0 {
+		return Verdict{}
+	}
+	rel := make([]video.Interval, len(found))
+	for i, f := range found {
+		rel[i] = video.Interval{Start: f.Start - win.Start, End: f.End - win.Start}
+	}
+	return Verdict{Rel: rel}
+}
+
+// Materialize re-anchors the verdict at win.Start and clips every interval
+// to win — a hit window may differ in length from the window that produced
+// the verdict (ε>0 tolerates that), and the CI contract is that detections
+// never exceed the requested range.
+func (v Verdict) Materialize(win video.Interval) []video.Interval {
+	var out []video.Interval
+	for _, r := range v.Rel {
+		abs := video.Interval{Start: win.Start + r.Start, End: win.Start + r.End}
+		if ov, ok := abs.Intersect(win); ok {
+			out = append(out, ov)
+		}
+	}
+	return out
+}
+
+// Stats is a snapshot of the cache meters.
+type Stats struct {
+	Lookups     int64 `json:"lookups"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Inserts     int64 `json:"inserts"`
+	AdmitSkips  int64 `json:"admit_skips"`
+	Evictions   int64 `json:"evictions"`
+	Expirations int64 `json:"expirations"`
+	Entries     int   `json:"entries"`
+}
+
+// HitRatio returns Hits/Lookups (0 before any lookup).
+func (s Stats) HitRatio() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+type entry struct {
+	key  Key
+	v    Verdict
+	born int // frame at insert, for TTL
+}
+
+// shard is one independently locked LRU. Eviction order is a pure function
+// of the Get/Put call sequence: list recency plus the FIFO doorkeeper ring,
+// no clocks, no randomness.
+type shard struct {
+	mu    sync.Mutex
+	elems map[Key]*list.Element
+	lru   *list.List // front = most recently used
+	cap   int
+	// Doorkeeper: key -> times offered, bounded by a FIFO ring so the
+	// memory of one-off signatures is itself bounded.
+	seen      map[Key]int
+	seenRing  []Key
+	seenBound int
+
+	lookups, hits, misses, inserts     int64
+	admitSkips, evictions, expirations int64
+}
+
+// Cache is a sharded, deterministically evicting, TTL-bounded LRU of CI
+// verdicts. Safe for concurrent use; when called from a single goroutine
+// (the fleet scheduler's serial phase B) every meter and eviction is
+// deterministic.
+type Cache struct {
+	cfg    Config
+	shards []*shard
+}
+
+// New builds a cache. cfg is validated; zero Capacity/Shards use defaults.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.Shards > cfg.Capacity {
+		cfg.Shards = cfg.Capacity
+	}
+	perShard := (cfg.Capacity + cfg.Shards - 1) / cfg.Shards
+	c := &Cache{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			elems:     make(map[Key]*list.Element),
+			lru:       list.New(),
+			cap:       perShard,
+			seen:      make(map[Key]int),
+			seenBound: 4 * perShard,
+		}
+	}
+	return c, nil
+}
+
+// Config returns the cache's effective configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) shardFor(k Key) *shard {
+	return c.shards[k.Hi%uint64(len(c.shards))]
+}
+
+// Get looks k up at simulated frame nowFrame. An entry older than
+// TTLFrames is expired (removed, counted) instead of served; a hit
+// refreshes recency.
+func (c *Cache) Get(k Key, nowFrame int) (Verdict, bool) {
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.lookups++
+	el, ok := sh.elems[k]
+	if !ok {
+		sh.misses++
+		return Verdict{}, false
+	}
+	e := el.Value.(*entry)
+	if c.cfg.TTLFrames > 0 && nowFrame-e.born > c.cfg.TTLFrames {
+		sh.lru.Remove(el)
+		delete(sh.elems, k)
+		sh.expirations++
+		sh.misses++
+		return Verdict{}, false
+	}
+	sh.lru.MoveToFront(el)
+	sh.hits++
+	return e.v, true
+}
+
+// Contains reports whether a Get(k, nowFrame) would hit, without being
+// one: no recency bump, no meter movement, no expiry sweep. Admission
+// control uses it to recognize that a relay will be served free before
+// deciding whether it fits a budget.
+func (c *Cache) Contains(k Key, nowFrame int) bool {
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.elems[k]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*entry)
+	return c.cfg.TTLFrames <= 0 || nowFrame-e.born <= c.cfg.TTLFrames
+}
+
+// Put offers (k, v) for caching at simulated frame nowFrame. The
+// doorkeeper may skip the insert (one-off signatures); an existing entry is
+// refreshed in place. Over-capacity shards evict their least recently used
+// entry.
+func (c *Cache) Put(k Key, v Verdict, nowFrame int) {
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.elems[k]; ok {
+		e := el.Value.(*entry)
+		e.v, e.born = v, nowFrame
+		sh.lru.MoveToFront(el)
+		return
+	}
+	if c.cfg.AdmitMinSeen > 1 {
+		n := sh.seen[k] + 1
+		if n < c.cfg.AdmitMinSeen {
+			if n == 1 {
+				sh.seenRing = append(sh.seenRing, k)
+				if len(sh.seenRing) > sh.seenBound {
+					// Forget the oldest doorkeeper observation. Its count may
+					// have grown past 1; dropping it only delays admission,
+					// never corrupts the LRU.
+					old := sh.seenRing[0]
+					sh.seenRing = sh.seenRing[1:]
+					delete(sh.seen, old)
+				}
+			}
+			sh.seen[k] = n
+			sh.admitSkips++
+			return
+		}
+		delete(sh.seen, k)
+	}
+	sh.elems[k] = sh.lru.PushFront(&entry{key: k, v: v, born: nowFrame})
+	sh.inserts++
+	for sh.lru.Len() > sh.cap {
+		back := sh.lru.Back()
+		sh.lru.Remove(back)
+		delete(sh.elems, back.Value.(*entry).key)
+		sh.evictions++
+	}
+}
+
+// Stats sums the shard meters.
+func (c *Cache) Stats() Stats {
+	var s Stats
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		s.Lookups += sh.lookups
+		s.Hits += sh.hits
+		s.Misses += sh.misses
+		s.Inserts += sh.inserts
+		s.AdmitSkips += sh.admitSkips
+		s.Evictions += sh.evictions
+		s.Expirations += sh.expirations
+		s.Entries += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// Register exposes the cache meters on reg as func-backed series: hit/miss
+// /eviction/insert counters plus live-entry and hit-ratio gauges.
+func (c *Cache) Register(reg *obs.Registry, labels obs.Labels) {
+	get := func(f func(Stats) float64) func() float64 {
+		return func() float64 { return f(c.Stats()) }
+	}
+	reg.CounterFunc("eventhit_cicache_hits_total", "CI relays answered from the result cache",
+		labels, get(func(s Stats) float64 { return float64(s.Hits) }))
+	reg.CounterFunc("eventhit_cicache_misses_total", "cache lookups that fell through to the CI",
+		labels, get(func(s Stats) float64 { return float64(s.Misses) }))
+	reg.CounterFunc("eventhit_cicache_evictions_total", "entries evicted by the LRU bound",
+		labels, get(func(s Stats) float64 { return float64(s.Evictions) }))
+	reg.CounterFunc("eventhit_cicache_expirations_total", "entries expired by the frame TTL",
+		labels, get(func(s Stats) float64 { return float64(s.Expirations) }))
+	reg.CounterFunc("eventhit_cicache_inserts_total", "verdicts admitted to the cache",
+		labels, get(func(s Stats) float64 { return float64(s.Inserts) }))
+	reg.GaugeFunc("eventhit_cicache_entries", "live cache entries",
+		labels, get(func(s Stats) float64 { return float64(s.Entries) }))
+	reg.GaugeFunc("eventhit_cicache_hit_ratio", "hits / lookups since start",
+		labels, get(func(s Stats) float64 { return s.HitRatio() }))
+}

@@ -1,0 +1,248 @@
+package cicache
+
+import (
+	"strings"
+	"testing"
+
+	"eventhit/internal/obs"
+	"eventhit/internal/video"
+)
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Epsilon: -0.1},
+		{TTLFrames: -1},
+		{Capacity: -1},
+		{Shards: -2},
+		{AdmitMinSeen: -3},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("config %+v validated", cfg)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignWindowEpsilonGrid(t *testing.T) {
+	x := [][]float64{{1.00, 2.00}, {3.00, 4.00}}
+	y := [][]float64{{1.04, 2.04}, {3.04, 3.96}} // within ε=0.25 buckets of x
+	z := [][]float64{{1.40, 2.00}, {3.00, 4.00}} // channel 0 lands in another bucket
+	ev := []int{0, 2}
+	rel := video.Interval{Start: 10, End: 40}
+
+	if SignWindow(x, ev, 0, rel, 0.25) != SignWindow(y, ev, 0, rel, 0.25) {
+		t.Fatal("ε-close windows did not collapse at ε=0.25")
+	}
+	if SignWindow(x, ev, 0, rel, 0.25) == SignWindow(z, ev, 0, rel, 0.25) {
+		t.Fatal("distinct buckets collided at ε=0.25")
+	}
+	// ε=0 is exact-match only.
+	if SignWindow(x, ev, 0, rel, 0) == SignWindow(y, ev, 0, rel, 0) {
+		t.Fatal("ε=0 collapsed non-identical windows")
+	}
+	if SignWindow(x, ev, 0, rel, 0) != SignWindow(x, ev, 0, rel, 0) {
+		t.Fatal("signature is not deterministic")
+	}
+	// Every non-content input perturbs the key.
+	base := SignWindow(x, ev, 0, rel, 0)
+	if SignWindow(x, ev, 1, rel, 0) == base {
+		t.Fatal("event type ignored")
+	}
+	if SignWindow(x, []int{0, 3}, 0, rel, 0) == base {
+		t.Fatal("event set ignored")
+	}
+	if SignWindow(x, ev, 0, video.Interval{Start: 11, End: 40}, 0) == base {
+		t.Fatal("occurrence interval ignored")
+	}
+	if SignWindow(x, ev, 0, rel, 0.5) == base {
+		t.Fatal("ε itself must be part of the address space")
+	}
+	if ExactKey(0, rel) == base {
+		t.Fatal("domain tags did not separate SignWindow from ExactKey")
+	}
+}
+
+func TestVerdictMaterializeReanchorsAndClips(t *testing.T) {
+	src := video.Interval{Start: 100, End: 199}
+	v := Relativize([]video.Interval{{Start: 110, End: 130}, {Start: 180, End: 220}}, src)
+	// Same-length window elsewhere: shifted, second interval clipped at end.
+	dst := video.Interval{Start: 500, End: 599}
+	got := v.Materialize(dst)
+	want := []video.Interval{{Start: 510, End: 530}, {Start: 580, End: 599}}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("materialized %v, want %v", got, want)
+	}
+	// Shorter window: intervals beyond it vanish.
+	short := video.Interval{Start: 500, End: 505}
+	if got := v.Materialize(short); len(got) != 0 {
+		t.Fatalf("out-of-window intervals survived clipping: %v", got)
+	}
+	if got := (Verdict{}).Materialize(dst); got != nil {
+		t.Fatalf("empty verdict materialized %v", got)
+	}
+}
+
+func TestCacheHitMissAndTTL(t *testing.T) {
+	c := mustNew(t, Config{TTLFrames: 100, Capacity: 8, Shards: 1, AdmitMinSeen: 1})
+	k := ExactKey(0, video.Interval{Start: 0, End: 9})
+	v := Verdict{Rel: []video.Interval{{Start: 1, End: 3}}}
+	if _, ok := c.Get(k, 0); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, v, 50)
+	if got, ok := c.Get(k, 100); !ok || len(got.Rel) != 1 {
+		t.Fatalf("fresh entry missed: %v %v", got, ok)
+	}
+	// Earlier "now" than the insert frame is fresh, not negative-expired.
+	if _, ok := c.Get(k, 0); !ok {
+		t.Fatal("entry expired at an earlier simulated frame")
+	}
+	if _, ok := c.Get(k, 151); ok {
+		t.Fatal("entry served past its TTL")
+	}
+	st := c.Stats()
+	if st.Expirations != 1 || st.Entries != 0 {
+		t.Fatalf("expiry not recorded: %+v", st)
+	}
+	if st.Hits != 2 || st.Misses != 2 || st.Lookups != 4 {
+		t.Fatalf("meters wrong: %+v", st)
+	}
+	if r := st.HitRatio(); r != 0.5 {
+		t.Fatalf("hit ratio %v", r)
+	}
+}
+
+func TestCacheLRUEvictionDeterministic(t *testing.T) {
+	keys := make([]Key, 4)
+	for i := range keys {
+		keys[i] = ExactKey(i, video.Interval{Start: 0, End: 9})
+	}
+	run := func() []bool {
+		c := mustNew(t, Config{Capacity: 3, Shards: 1, AdmitMinSeen: 1})
+		for _, k := range keys[:3] {
+			c.Put(k, Verdict{}, 0)
+		}
+		c.Get(keys[0], 0) // refresh 0; 1 becomes LRU
+		c.Put(keys[3], Verdict{}, 0)
+		live := make([]bool, len(keys))
+		for i, k := range keys {
+			_, live[i] = c.Get(k, 0)
+		}
+		return live
+	}
+	live := run()
+	if !live[0] || live[1] || !live[2] || !live[3] {
+		t.Fatalf("eviction order wrong: %v (want LRU key 1 gone)", live)
+	}
+	for i := 0; i < 3; i++ {
+		again := run()
+		for j := range live {
+			if live[j] != again[j] {
+				t.Fatalf("eviction not deterministic: %v vs %v", live, again)
+			}
+		}
+	}
+}
+
+func TestCacheAdmissionDoorkeeper(t *testing.T) {
+	c := mustNew(t, Config{Capacity: 8, Shards: 1, AdmitMinSeen: 2})
+	k := ExactKey(7, video.Interval{Start: 0, End: 9})
+	c.Put(k, Verdict{}, 0)
+	if _, ok := c.Get(k, 0); ok {
+		t.Fatal("one-off signature was cached")
+	}
+	c.Put(k, Verdict{}, 0)
+	if _, ok := c.Get(k, 0); !ok {
+		t.Fatal("second offer not admitted")
+	}
+	st := c.Stats()
+	if st.AdmitSkips != 1 || st.Inserts != 1 {
+		t.Fatalf("doorkeeper meters wrong: %+v", st)
+	}
+}
+
+func TestCacheShardingCoversAllShards(t *testing.T) {
+	c := mustNew(t, Config{Capacity: 1024, Shards: 8, AdmitMinSeen: 1})
+	for i := 0; i < 64; i++ {
+		c.Put(ExactKey(i, video.Interval{Start: i, End: i + 9}), Verdict{}, 0)
+	}
+	if st := c.Stats(); st.Entries != 64 || st.Inserts != 64 {
+		t.Fatalf("stats after 64 distinct puts: %+v", st)
+	}
+	occupied := 0
+	for _, sh := range c.shards {
+		if sh.lru.Len() > 0 {
+			occupied++
+		}
+	}
+	if occupied < 2 {
+		t.Fatalf("64 keys landed on %d of %d shards", occupied, len(c.shards))
+	}
+}
+
+func TestCacheRegisterExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := mustNew(t, Config{Capacity: 8, Shards: 1, AdmitMinSeen: 1})
+	c.Register(reg, nil)
+	k := ExactKey(0, video.Interval{Start: 0, End: 9})
+	c.Put(k, Verdict{}, 0)
+	c.Get(k, 0)
+	c.Get(ExactKey(1, video.Interval{Start: 0, End: 9}), 0)
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"eventhit_cicache_hits_total 1",
+		"eventhit_cicache_misses_total 1",
+		"eventhit_cicache_entries 1",
+		"eventhit_cicache_hit_ratio 0.5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestCacheContainsIsFree: Contains answers "would Get hit" without being a
+// lookup — no meter movement, no recency bump, and TTL respected.
+func TestCacheContainsIsFree(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TTLFrames = 100
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{Hi: 1, Lo: 2}
+	if c.Contains(k, 0) {
+		t.Fatal("empty cache contains a key")
+	}
+	c.Put(k, Verdict{}, 0)
+	if !c.Contains(k, 50) {
+		t.Fatal("fresh entry not contained")
+	}
+	if c.Contains(k, 101) {
+		t.Fatal("expired entry contained")
+	}
+	st := c.Stats()
+	if st.Lookups != 0 || st.Hits != 0 || st.Misses != 0 || st.Expirations != 0 {
+		t.Fatalf("Contains moved the meters: %+v", st)
+	}
+	// The expired entry is still swept by a real Get, not by Contains.
+	if st.Entries != 1 {
+		t.Fatalf("Contains evicted: %d entries", st.Entries)
+	}
+}

@@ -152,6 +152,24 @@ func (s *Service) DetectTimed(eventType int, win video.Interval) (Detection, flo
 	return det, float64(win.Len()) * s.latency.PerFrameMS, nil
 }
 
+// Peek returns the true occurrences overlapping win WITHOUT billing,
+// metering or simulated latency. It is a simulation-only oracle readout —
+// a real CI has no free path — used to score the honesty of cache hits:
+// an ε-approximate or stale verdict may hide an occurrence the CI would
+// have found, and the recall accounting must see that.
+func (s *Service) Peek(eventType int, win video.Interval) []video.Interval {
+	if eventType < 0 || eventType >= s.stream.NumTypes() || win.Len() == 0 {
+		return nil
+	}
+	var found []video.Interval
+	for _, in := range s.stream.InstancesOverlapping(eventType, win) {
+		if ov, ok := in.OI.Intersect(win); ok {
+			found = append(found, ov)
+		}
+	}
+	return found
+}
+
 // Usage is a snapshot of the CI meter.
 type Usage struct {
 	Requests  int64

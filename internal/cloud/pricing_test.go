@@ -60,6 +60,41 @@ func TestTieredCostCrossesBoundary(t *testing.T) {
 	}
 }
 
+// TestTieredCostExactBoundaries pins the marginal-rate semantics at the
+// exact tier edges: a batch landing precisely on UpTo never leaks into the
+// next tier, the first frame past a cap bills at the next rate, and
+// cumulative usage straddling two tiers splits frame-exactly.
+func TestTieredCostExactBoundaries(t *testing.T) {
+	p := RekognitionTiers()
+	cases := []struct {
+		name    string
+		used, n int64
+		want    float64
+	}{
+		{"zero frames", 0, 0, 0},
+		{"zero frames deep in tier 2", 5_000_000, 0, 0},
+		{"batch lands exactly on tier 1 cap", 0, 1_000_000, 1000},
+		{"last frame of tier 1", 999_999, 1, 0.001},
+		{"first frame of tier 2", 1_000_000, 1, 0.0008},
+		{"batch lands exactly on tier 2 cap", 0, 10_000_000, 1000 + 9_000_000*0.0008},
+		{"last frame of tier 2", 9_999_999, 1, 0.0008},
+		{"first frame of tier 3", 10_000_000, 1, 0.0006},
+		{"one frame each side of tier 1 cap", 999_999, 2, 0.001 + 0.0008},
+		{"one frame each side of tier 2 cap", 9_999_999, 2, 0.0008 + 0.0006},
+		{"cumulative straddle of tiers 1+2", 500_000, 600_000, 500_000*0.001 + 100_000*0.0008},
+		{"cumulative straddle of tiers 2+3", 9_500_000, 1_000_000, 500_000*0.0008 + 500_000*0.0006},
+		{"batch spanning all three tiers", 0, 11_000_000, 1000 + 9_000_000*0.0008 + 1_000_000*0.0006},
+		{"usage already past every cap", 10_000_000, 2_000_000, 2_000_000 * 0.0006},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := p.Cost(tc.used, tc.n); math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("Cost(%d, %d) = %v, want %v", tc.used, tc.n, got, tc.want)
+			}
+		})
+	}
+}
+
 func TestTieredCostAdditive(t *testing.T) {
 	// Cost(u, a+b) == Cost(u, a) + Cost(u+a, b): billing is path-independent.
 	p := RekognitionTiers()

@@ -129,6 +129,20 @@ func (a *Arbiter) Admit(session string, frames int) Verdict {
 	return Admit
 }
 
+// Release forgets a session's token bucket (the session was deleted). The
+// admission totals keep the session's history; only the live bucket — and
+// the Sessions gauge — go. Returns whether the session was known.
+func (a *Arbiter) Release(session string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.buckets[session]; !ok {
+		return false
+	}
+	delete(a.buckets, session)
+	a.stats.Sessions = len(a.buckets)
+	return true
+}
+
 // Stats returns a snapshot of the admission counters.
 func (a *Arbiter) Stats() ArbiterStats {
 	a.mu.Lock()

@@ -139,3 +139,41 @@ func TestArbiterConfigValidate(t *testing.T) {
 		t.Fatal("negative PerFrameUSD accepted")
 	}
 }
+
+// TestArbiterRelease: deleting a session frees its bucket and the Sessions
+// gauge, keeps the admission history, and a recreated session starts with a
+// fresh burst allowance.
+func TestArbiterRelease(t *testing.T) {
+	now := 0.0
+	a, err := newArbiterAt(ArbiterConfig{
+		PerFrameUSD:       0.001,
+		SessionRatePerSec: 1, // negligible refill: only the burst matters
+		SessionBurst:      20,
+	}, func() float64 { return now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := a.Admit("s1", 20); v != Admit {
+		t.Fatalf("burst admit = %v", v)
+	}
+	if v := a.Admit("s1", 20); v != DeferRate {
+		t.Fatalf("drained bucket admitted: %v", v)
+	}
+	if !a.Release("s1") {
+		t.Fatal("known session not released")
+	}
+	if a.Release("s1") || a.Release("never-seen") {
+		t.Fatal("unknown session reported released")
+	}
+	st := a.Stats()
+	if st.Sessions != 0 {
+		t.Fatalf("sessions gauge = %d after release", st.Sessions)
+	}
+	if st.Admitted != 1 || st.AdmittedFrames != 20 {
+		t.Fatalf("release erased admission history: %+v", st)
+	}
+	// Same id again: a brand-new bucket with full burst.
+	if v := a.Admit("s1", 20); v != Admit {
+		t.Fatalf("recreated session admit = %v", v)
+	}
+}

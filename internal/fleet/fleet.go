@@ -33,6 +33,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"eventhit/internal/cicache"
 	"eventhit/internal/cloud"
 	"eventhit/internal/dataset"
 	"eventhit/internal/metrics"
@@ -84,6 +85,16 @@ type Config struct {
 	// GlobalBudgetUSD caps the fleet's total CI spend; relays that would
 	// exceed it are deferred. 0 means uncapped.
 	GlobalBudgetUSD float64
+	// Cache, when non-nil, shares one content-addressed CI result cache
+	// (internal/cicache) across every stream in the fleet: relays carrying
+	// the same quantized covariate signature are answered from the stored
+	// verdict — or coalesced into one billed call when they land in the
+	// same batch — with zero billing and zero channel time. The cache is
+	// consulted only in the serial arbitration phase, so reports stay
+	// byte-identical at any Parallelism. At Epsilon 0 signatures are
+	// exact-match only: streams without exact repeats hit never, and the
+	// report is byte-identical to the uncached run.
+	Cache *cicache.Config
 	// Parallelism is the number of workers computing stream timelines
 	// (phase A). Scheduling itself is serial; results are identical at any
 	// value >= 1.
@@ -125,6 +136,11 @@ func (c Config) validate() error {
 	}
 	if c.CallOverheadMS < 0 || c.GlobalBudgetUSD < 0 || c.StreamRatePerSec < 0 || c.StreamBurst < 0 {
 		return fmt.Errorf("fleet: negative policy knob in %+v", c)
+	}
+	if c.Cache != nil {
+		if err := c.Cache.Validate(); err != nil {
+			return fmt.Errorf("fleet: %w", err)
+		}
 	}
 	return nil
 }
@@ -171,12 +187,33 @@ type Report struct {
 	Batches       int     `json:"batches"`
 	AvgBatchSize  float64 `json:"avg_batch_size"`
 	MaxQueueDepth int     `json:"max_queue_depth"`
+	// Cache outcome of the shared CI result cache (Config.Cache). All four
+	// are hit-derived: with the cache off, or on at Epsilon 0 over streams
+	// with no exact repeats, they are zero and the report is byte-identical
+	// to the uncached run. CacheBadHits counts hits whose stored verdict
+	// hid a true occurrence the CI would have found; those relays count as
+	// served but not as realized recall. Misses and evictions differ
+	// between cache on/off by construction, so they live in CacheStats(),
+	// not the JSON.
+	CacheHits        int64   `json:"cache_hits"`
+	CacheSavedFrames int64   `json:"cache_saved_frames"`
+	CacheSavedUSD    float64 `json:"cache_saved_usd"`
+	CacheBadHits     int64   `json:"cache_bad_hits"`
 	// MakespanMS is when the last activity (local or CI) finished.
 	MakespanMS float64 `json:"makespan_ms"`
 
 	// registry is the run-scoped metrics registry (see Config.Metrics).
 	registry *obs.Registry
+	// cacheStats is the shared cache's full meter snapshot (zero value when
+	// Config.Cache was nil).
+	cacheStats cicache.Stats
 }
+
+// CacheStats returns the shared cache's full meter snapshot (lookups,
+// misses, evictions, entries — the counters deliberately kept out of the
+// JSON report because they differ between cache on/off even when the
+// outcome is identical).
+func (r *Report) CacheStats() cicache.Stats { return r.cacheStats }
 
 // Registry returns the run's metrics registry (queue depth, wait/batch
 // histograms, shed/deferred counters, per-stream spend).
@@ -217,6 +254,14 @@ func Run(streams []Stream, cfg Config) (*Report, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewRegistry()
 	}
+	var cache *cicache.Cache
+	if cfg.Cache != nil {
+		var err error
+		cache, err = cicache.New(*cfg.Cache)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+	}
 
 	// Phase A: per-stream oracle backends and timelines, computed
 	// concurrently and slotted by index.
@@ -245,6 +290,13 @@ func Run(streams []Stream, cfg Config) (*Report, error) {
 					return
 				}
 				s := streams[i]
+				if cfg.Cache != nil {
+					// The fleet cache owns the keying: requests must be
+					// signed with the fleet's quantization, not whatever the
+					// stream carried. Signing is pure (no RNG, no clock), so
+					// the timeline is unchanged apart from the Key fields.
+					s.Costs.Cache = cfg.Cache
+				}
 				svc := cloud.NewService(s.Source.Stream(), cfg.Pricing, cfg.Latency)
 				m, err := pipeline.New(s.Source, s.Strategy, svc, s.Cfg, s.Costs)
 				if err != nil {
@@ -268,7 +320,7 @@ func Run(streams []Stream, cfg Config) (*Report, error) {
 	}
 
 	// Phase B: serial arbitration over the shared clock.
-	sch := newScheduler(cfg)
+	sch := newScheduler(cfg, cache)
 	for i := range streams {
 		sch.addStream(streams[i].ID, cells[i].svc, cells[i].tl)
 	}
@@ -326,6 +378,14 @@ func Run(streams []Stream, cfg Config) (*Report, error) {
 		rep.AvgBatchSize = float64(rep.Served) / float64(sch.batches)
 	}
 	rep.MaxQueueDepth = sch.maxDepth
+	rep.CacheHits = sch.cacheHits
+	rep.CacheSavedFrames = sch.cacheSavedFrames
+	// Savings are priced with the same single multiply as the spend totals.
+	rep.CacheSavedUSD = float64(sch.cacheSavedFrames) * cfg.Pricing.PerFrameUSD
+	rep.CacheBadHits = sch.cacheBadHits
+	if cache != nil {
+		rep.cacheStats = cache.Stats()
+	}
 	if sch.ciFreeMS > rep.MakespanMS {
 		rep.MakespanMS = sch.ciFreeMS
 	}

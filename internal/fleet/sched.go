@@ -3,9 +3,11 @@ package fleet
 import (
 	"sort"
 
+	"eventhit/internal/cicache"
 	"eventhit/internal/cloud"
 	"eventhit/internal/obs"
 	"eventhit/internal/pipeline"
+	"eventhit/internal/video"
 )
 
 // The scheduler is phase B of a fleet run: a single-goroutine, event-driven
@@ -50,6 +52,15 @@ type scheduler struct {
 	batches      int
 	maxDepth     int
 
+	// cache is the fleet-shared CI result cache (nil when Config.Cache is
+	// unset). It is touched only here, on the serial phase-B goroutine, so
+	// hit/miss order — and therefore the report — is independent of
+	// Parallelism.
+	cache            *cicache.Cache
+	cacheHits        int64
+	cacheSavedFrames int64
+	cacheBadHits     int64
+
 	// Instrumentation (run-scoped registry, serial writes only).
 	depthG         *obs.Gauge
 	depthMaxG      *obs.Gauge
@@ -60,12 +71,20 @@ type scheduler struct {
 	framesC        *obs.Counter
 	spendByStream  map[int]*obs.Counter
 	servedByStream map[int]*obs.Counter
+	// Cache families are registered whether or not the cache is enabled so
+	// the metrics summary has identical families (all zero when disabled or
+	// never hitting) — part of the byte-identity contract.
+	cacheHitsC        *obs.Counter
+	cacheSavedFramesC *obs.Counter
+	cacheSavedUSDC    *obs.Counter
+	cacheBadHitsC     *obs.Counter
 }
 
-func newScheduler(cfg Config) *scheduler {
+func newScheduler(cfg Config, cache *cicache.Cache) *scheduler {
 	reg := cfg.Metrics
 	return &scheduler{
 		cfg:       cfg,
+		cache:     cache,
 		depthG:    reg.Gauge("eventhit_fleet_queue_depth", "pending relays at the shared CI", nil),
 		depthMaxG: reg.Gauge("eventhit_fleet_queue_depth_max", "high-water mark of the pending queue", nil),
 		waitH: reg.Histogram("eventhit_fleet_wait_ms",
@@ -78,6 +97,14 @@ func newScheduler(cfg Config) *scheduler {
 		framesC:        reg.Counter("eventhit_fleet_ci_frames_total", "frames billed by the shared CI", nil),
 		spendByStream:  make(map[int]*obs.Counter),
 		servedByStream: make(map[int]*obs.Counter),
+		cacheHitsC: reg.Counter("eventhit_fleet_cache_hits_total",
+			"relays served from the shared CI result cache", nil),
+		cacheSavedFramesC: reg.Counter("eventhit_fleet_cache_saved_frames_total",
+			"billed frames avoided by cache hits", nil),
+		cacheSavedUSDC: reg.Counter("eventhit_fleet_cache_saved_usd_total",
+			"CI spend avoided by cache hits", nil),
+		cacheBadHitsC: reg.Counter("eventhit_fleet_cache_bad_hits_total",
+			"cache hits whose stored verdict hid a true occurrence", nil),
 	}
 }
 
@@ -189,14 +216,38 @@ func (s *scheduler) run() {
 
 // dispatch serves one batch: pick the most urgent pending relay, meter it,
 // fill the batch with further compatible relays in urgency order, and
-// charge the shared channel for one call.
+// charge the shared channel for one call. With a shared cache, keyed
+// relays are first checked against it — a hit is served immediately,
+// unbilled and unmetered — and keyed relays landing in the same batch as
+// an identical signature coalesce: one rides billed, its twins ride that
+// call's verdict for free.
 func (s *scheduler) dispatch() {
 	sort.Slice(s.pending, func(a, b int) bool { return s.less(s.pending[a], s.pending[b]) })
 
 	var batch []pendingReq
 	var batchFrames int
+	var batchKeys map[cicache.Key]int // signature -> batch slot of the billed twin
+	var piggy []pendingReq
+	var piggySlot []int
+	if s.cache != nil {
+		batchKeys = make(map[cicache.Key]int)
+	}
 	rest := s.pending[:0]
 	for _, p := range s.pending {
+		if s.cache != nil && p.req.Keyed {
+			if v, ok := s.cache.Get(p.req.Key, p.req.Win.Start); ok {
+				s.serveCached(p, v, s.nowMS)
+				continue
+			}
+			if slot, ok := batchKeys[p.req.Key]; ok {
+				// In-batch twin of an already-admitted relay: coalesce. The
+				// twin is served from the billed call's verdict below —
+				// no frames, no budget, no bucket.
+				piggy = append(piggy, p)
+				piggySlot = append(piggySlot, slot)
+				continue
+			}
+		}
 		if len(batch) >= s.cfg.BatchMax {
 			rest = append(rest, p)
 			continue
@@ -223,13 +274,18 @@ func (s *scheduler) dispatch() {
 			s.defer_(p)
 			continue
 		}
+		if s.cache != nil && p.req.Keyed {
+			// Registered only once the relay survived every meter, so a
+			// twin never coalesces onto a deferred request.
+			batchKeys[p.req.Key] = len(batch)
+		}
 		batchFrames += frames
 		batch = append(batch, p)
 	}
 	s.pending = rest
 	s.depthG.Set(float64(len(s.pending)))
 	if len(batch) == 0 {
-		return // everything was deferred; admit/idle again
+		return // everything was deferred or cache-served; admit/idle again
 	}
 
 	serveStart := s.nowMS
@@ -238,13 +294,18 @@ func (s *scheduler) dispatch() {
 	s.spentUSD = float64(s.framesBilled) * s.cfg.Pricing.PerFrameUSD
 	s.batches++
 	s.batchH.Observe(float64(len(batch)))
-	for _, p := range batch {
+	dets := make([][]video.Interval, len(batch))
+	for bi, p := range batch {
 		st := s.streams[p.stream]
 		det, err := st.svc.Detect(p.req.EventType, p.req.Win)
 		if err != nil {
 			// The oracle backend cannot fail on a valid event type; a
 			// failure here is a programming error surfaced loudly.
 			panic("fleet: oracle CI failed: " + err.Error())
+		}
+		dets[bi] = det.Found
+		if s.cache != nil && p.req.Keyed {
+			s.cache.Put(p.req.Key, cicache.Relativize(det.Found, p.req.Win), p.req.Win.Start)
 		}
 		st.served++
 		st.detections += len(det.Found)
@@ -259,8 +320,44 @@ func (s *scheduler) dispatch() {
 		s.spendByStream[p.stream].Add(float64(p.req.Win.Len()) * s.cfg.Pricing.PerFrameUSD)
 		s.servedByStream[p.stream].Inc()
 	}
+	for i, p := range piggy {
+		twin := batch[piggySlot[i]]
+		s.serveCached(p, cicache.Relativize(dets[piggySlot[i]], twin.req.Win), serveStart)
+	}
 	s.ciFreeMS = serveStart + latency
 	s.nowMS = s.ciFreeMS
+}
+
+// serveCached serves a relay from a stored (or coalesced) verdict: the
+// relative intervals are re-anchored onto the relay's own window, the relay
+// counts as served with zero billed frames and zero channel time, and the
+// savings meters advance. A hit that claims "no occurrence" while the
+// oracle would have found one is a bad hit: the relay stays served (the
+// partition Served+Deferred+Shed == Relays holds) but is excluded from the
+// realized-recall credit, because the operator in fact missed the event.
+func (s *scheduler) serveCached(p pendingReq, v cicache.Verdict, serveStart float64) {
+	st := s.streams[p.stream]
+	found := v.Materialize(p.req.Win)
+	st.served++
+	st.detections += len(found)
+	wait := serveStart - p.req.ReleaseMS
+	st.waitSumMS += wait
+	if wait > st.maxWaitMS {
+		st.maxWaitMS = wait
+	}
+	s.waitH.Observe(wait)
+	s.servedC.Inc()
+	s.servedByStream[p.stream].Inc()
+	s.cacheHits++
+	s.cacheSavedFrames += int64(p.req.Win.Len())
+	s.cacheHitsC.Inc()
+	s.cacheSavedFramesC.Add(float64(p.req.Win.Len()))
+	s.cacheSavedUSDC.Add(float64(p.req.Win.Len()) * s.cfg.Pricing.PerFrameUSD)
+	if len(found) == 0 && len(st.svc.Peek(p.req.EventType, p.req.Win)) > 0 {
+		s.cacheBadHits++
+		s.cacheBadHitsC.Inc()
+		st.unserved = append(st.unserved, [2]int{p.req.Horizon, p.req.Event})
+	}
 }
 
 // defer_ drops a relay to budget metering: unserved, unbilled, recorded.

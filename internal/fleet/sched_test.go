@@ -37,7 +37,7 @@ func synthScheduler(t *testing.T, cfg Config) (*scheduler, *cloud.Service) {
 	}
 	st := video.Generate(video.THUMOS(), mathx.NewRNG(1))
 	svc := cloud.NewService(st, cfg.Pricing, cfg.Latency)
-	return newScheduler(cfg), svc
+	return newScheduler(cfg, nil), svc
 }
 
 // TestSchedulerStarvationRegression: a flood of zero-slack relays from one

@@ -36,9 +36,12 @@ func TestFleetGoldenJSONShape(t *testing.T) {
 			}},
 			Served: 1, Deferred: 1, Shed: 0,
 			TotalFrames: 40, TotalSpentUSD: 0.04, BudgetUSD: 1,
-			Batches: 1, AvgBatchSize: 1, MaxQueueDepth: 2, MakespanMS: 250,
+			Batches: 1, AvgBatchSize: 1, MaxQueueDepth: 2,
+			CacheHits: 3, CacheSavedFrames: 60, CacheSavedUSD: 0.06, CacheBadHits: 0,
+			MakespanMS: 250,
 		},
 		Metrics: map[string]float64{
+			"eventhit_fleet_cache_hits_total":    3,
 			"eventhit_fleet_ci_frames_total":     40,
 			"eventhit_fleet_served_relays_total": 1,
 		},

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"net/http/httptest"
 	"os"
@@ -253,6 +254,31 @@ func TestSummaryStable(t *testing.T) {
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("entry %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSummarySeriesOrderIndependent: a family's Total must not depend on
+// map iteration order. Many series holding values whose float sum is
+// order-sensitive (0.1 + 0.2 + ... accumulates differently per permutation)
+// must collapse to one bit-stable total across registries built in
+// different insertion orders and across repeated snapshots.
+func TestSummarySeriesOrderIndependent(t *testing.T) {
+	build := func(reverse bool) *Registry {
+		r := NewRegistry()
+		for i := 0; i < 64; i++ {
+			k := i
+			if reverse {
+				k = 63 - i
+			}
+			r.Counter("spend_total", "", Labels{"s": fmt.Sprintf("cam-%02d", k)}).Add(0.1 + float64(k)*0.01)
+		}
+		return r
+	}
+	want := build(false).Summary()[0].Total
+	for trial := 0; trial < 20; trial++ {
+		if got := build(trial%2 == 1).Summary()[0].Total; got != want {
+			t.Fatalf("trial %d: total %v != %v (summation order leaked)", trial, got, want)
 		}
 	}
 }

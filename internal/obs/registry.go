@@ -334,7 +334,16 @@ func (r *Registry) Summary() []SummaryEntry {
 	for _, n := range names {
 		f := r.families[n]
 		e := SummaryEntry{Name: f.name, Kind: f.kind.String(), Series: len(f.series)}
-		for _, s := range f.series {
+		// Sum in sorted series order: float addition is order-sensitive, and
+		// ranging the map directly would make two identical registries
+		// summarize to different low bits from run to run.
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
 			switch {
 			case s.fn != nil:
 				e.Total += s.fn()

@@ -1,0 +1,87 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"eventhit/internal/cicache"
+	"eventhit/internal/strategy"
+)
+
+// TestCacheZeroEpsilonParity pins the cache's safety contract: enabling it
+// at Epsilon 0 (exact-match signatures) over a stream whose jittered
+// covariates never repeat exactly yields zero hits and a report deeply
+// equal to the uncached run's.
+func TestCacheZeroEpsilonParity(t *testing.T) {
+	run := func(withCache bool) Report {
+		ex, ci, cfg := setup(t)
+		costs := EventHitCosts(cfg.Window)
+		if withCache {
+			c := cicache.DefaultConfig()
+			costs.Cache = &c
+		}
+		m, err := New(ex, strategy.Opt{}, ci, cfg, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, _, _, err := m.Run(0, 40000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	off := run(false)
+	on := run(true)
+	if on.CacheHits != 0 || on.CacheSavedFrames != 0 || on.CacheSavedUSD != 0 {
+		t.Fatalf("exact-match cache hit on a non-repeating stream: hits=%d frames=%d usd=%v",
+			on.CacheHits, on.CacheSavedFrames, on.CacheSavedUSD)
+	}
+	if !reflect.DeepEqual(off, on) {
+		t.Fatalf("cache at eps=0 changed the report:\noff = %+v\non  = %+v", off, on)
+	}
+}
+
+// TestCacheRepeatRegionAllHits marshals the same region twice through one
+// cached marshaller: the second pass's relays are answered entirely from
+// the cache — no new billing, no new CI busy time, full savings.
+func TestCacheRepeatRegionAllHits(t *testing.T) {
+	ex, ci, cfg := setup(t)
+	costs := EventHitCosts(cfg.Window)
+	c := cicache.DefaultConfig()
+	costs.Cache = &c
+	m, err := New(ex, strategy.Opt{}, ci, cfg, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, _, _, err := m.Run(0, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.CIFrames == 0 {
+		t.Fatal("first pass relayed nothing; the test needs relays")
+	}
+	u1 := ci.Usage()
+	rep2, _, _, err := m.Run(0, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u2 := ci.Usage(); u2 != u1 {
+		t.Fatalf("second pass billed the CI: %+v vs %+v", u2, u1)
+	}
+	// CIFrames/SpentUSD report the backend's cumulative meter: unchanged
+	// totals mean the second pass added nothing.
+	if rep2.CIFrames != rep1.CIFrames || rep2.SpentUSD != rep1.SpentUSD {
+		t.Fatalf("second pass grew the bill: frames %d->%d usd %v->%v",
+			rep1.CIFrames, rep2.CIFrames, rep1.SpentUSD, rep2.SpentUSD)
+	}
+	if rep2.CacheHits == 0 || rep2.CacheSavedFrames != rep1.CIFrames {
+		t.Fatalf("second pass hits=%d savedFrames=%d, want savedFrames=%d",
+			rep2.CacheHits, rep2.CacheSavedFrames, rep1.CIFrames)
+	}
+	if rep2.CacheSavedUSD != rep1.SpentUSD {
+		t.Fatalf("saved %v USD, first pass spent %v", rep2.CacheSavedUSD, rep1.SpentUSD)
+	}
+	if rep2.Detections != rep1.Detections {
+		t.Fatalf("cached pass found %d detections, first pass %d", rep2.Detections, rep1.Detections)
+	}
+}

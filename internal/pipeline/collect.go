@@ -3,6 +3,7 @@ package pipeline
 import (
 	"fmt"
 
+	"eventhit/internal/cicache"
 	"eventhit/internal/dataset"
 	"eventhit/internal/metrics"
 	"eventhit/internal/video"
@@ -40,6 +41,13 @@ type RelayRequest struct {
 	// submitted (scan and predict time of all horizons up to and including
 	// this one).
 	ReleaseMS float64
+	// Key is the content-addressed cache signature of the request (the
+	// quantized covariate window plus the event and the relative range),
+	// populated only when the stream's Costs.Cache is set; Keyed says so. A
+	// scheduler serving keyed requests may dedup them through a shared
+	// cicache.Cache.
+	Key   cicache.Key
+	Keyed bool
 }
 
 // Timeline is one stream's captured marshalling activity over a region.
@@ -90,7 +98,7 @@ func (m *Marshaller) Collect(start, end int) (Timeline, error) {
 			if !occ {
 				continue
 			}
-			tl.Requests = append(tl.Requests, RelayRequest{
+			req := RelayRequest{
 				Seq:         len(tl.Requests),
 				Horizon:     horizon,
 				Event:       k,
@@ -98,7 +106,12 @@ func (m *Marshaller) Collect(start, end int) (Timeline, error) {
 				Win:         video.Interval{Start: t + pred.OI[k].Start, End: t + pred.OI[k].End},
 				SlackFrames: pred.OI[k].Start,
 				ReleaseMS:   release,
-			})
+			}
+			if m.costs.Cache != nil {
+				req.Key = cicache.SignWindow(rec.X, m.ex.Events(), req.EventType, pred.OI[k], m.costs.Cache.Epsilon)
+				req.Keyed = true
+			}
+			tl.Requests = append(tl.Requests, req)
 		}
 		tl.Records = append(tl.Records, rec)
 		tl.Preds = append(tl.Preds, pred)

@@ -21,6 +21,7 @@ package pipeline
 import (
 	"fmt"
 
+	"eventhit/internal/cicache"
 	"eventhit/internal/cloud"
 	"eventhit/internal/dataset"
 	"eventhit/internal/metrics"
@@ -67,6 +68,13 @@ type Costs struct {
 	// milliseconds the run already computed — recording them touches no RNG
 	// and no clock, so instrumented and bare runs are byte-identical.
 	Metrics *obs.Registry
+	// Cache, when non-nil, interposes a content-addressed CI result cache
+	// (internal/cicache) in front of the backend: relays are keyed by a
+	// quantized signature of the covariate window and a hit is served from
+	// the stored verdict with zero billing and zero CI busy time. At
+	// Epsilon 0 the signature is exact-match only, so a run over a stream
+	// with no exact repeats is byte-identical to the uncached run.
+	Cache *cicache.Config
 }
 
 // FeatureMSDefault is the per-frame cost of the YOLO-class detector used
@@ -140,6 +148,13 @@ type Report struct {
 	CIBackoffMS      float64
 	// BreakerTrips counts circuit-breaker closed->open transitions.
 	BreakerTrips int64
+	// CacheHits/CacheSavedFrames/CacheSavedUSD are the CI result cache's
+	// realized savings this run (all zero when Costs.Cache is unset):
+	// relays answered from the cache, which billed nothing and added zero
+	// CI time — CIMS and SpentUSD already exclude them.
+	CacheHits        int64
+	CacheSavedFrames int64
+	CacheSavedUSD    float64
 }
 
 // TotalMS returns the simulated end-to-end processing time.
@@ -187,12 +202,16 @@ type Marshaller struct {
 	clock *resilience.Clock
 	cfg   dataset.Config
 	costs Costs
+	// cached is the dedup layer in front of ci (nil when Costs.Cache is
+	// unset); the resilient client calls through it.
+	cached *cloud.CachedBackend
 
 	// Stage histograms and run counters (see Costs.Metrics). The stage label
 	// matches Figure 10's decomposition: scan, predict, relay.
 	scanH, predictH, relayH        *obs.Histogram
 	horizonsC, deferredC           *obs.Counter
 	ciFramesC, ciSpentC, ciFailedC *obs.Counter
+	cacheHitsC, cacheSavedC        *obs.Counter
 }
 
 // New assembles a marshaller. ci is any CI backend: the bare simulated
@@ -221,6 +240,19 @@ func New(ex dataset.Source, s strategy.Strategy, ci cloud.Backend, cfg dataset.C
 		rcfg = resilience.DefaultConfig(0)
 		rcfg.MaxAttempts = costs.CIRetries + 1
 	}
+	// The cache wraps the backend BELOW the resilient client: a hit is an
+	// instantly successful zero-latency attempt (no billing, no busy time,
+	// the breaker sees a success), a miss retries like any other request.
+	var cached *cloud.CachedBackend
+	backend := ci
+	if costs.Cache != nil {
+		cache, err := cicache.New(*costs.Cache)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: %w", err)
+		}
+		cached = cloud.NewCachedBackend(ci, cache, cloud.PerFrameUSDOf(ci))
+		backend = cached
+	}
 	clock := resilience.NewClock()
 	reg := costs.Metrics
 	if reg == nil {
@@ -232,8 +264,8 @@ func New(ex dataset.Source, s strategy.Strategy, ci cloud.Backend, cfg dataset.C
 			obs.MSBuckets(), obs.Labels{"stage": stage})
 	}
 	return &Marshaller{
-		ex: ex, strat: s, ci: ci,
-		res:   resilience.NewClient(ci, rcfg, clock),
+		ex: ex, strat: s, ci: ci, cached: cached,
+		res:   resilience.NewClient(backend, rcfg, clock),
 		clock: clock,
 		cfg:   cfg, costs: costs,
 		scanH:    stageH("scan"),
@@ -249,6 +281,13 @@ func New(ex dataset.Source, s strategy.Strategy, ci cloud.Backend, cfg dataset.C
 			"CI bill accrued by pipeline runs", nil),
 		ciFailedC: reg.Counter("eventhit_pipeline_ci_failed_attempts_total",
 			"failed CI attempts during pipeline runs", nil),
+		// Registered whether or not the cache is enabled, so the metric
+		// families (and any registry digest) are identical across cache
+		// on/off runs — they just stay zero without hits.
+		cacheHitsC: reg.Counter("eventhit_pipeline_cache_hits_total",
+			"relays answered from the CI result cache", nil),
+		cacheSavedC: reg.Counter("eventhit_pipeline_cache_saved_usd_total",
+			"CI spend avoided by cache hits", nil),
 	}, nil
 }
 
@@ -279,6 +318,10 @@ func (m *Marshaller) RunDetailed(start, end int) (Report, []dataset.Record, []me
 	// cumulative across runs of the same backend, the counters must only
 	// receive this run's delta.
 	st0, u0 := m.res.Stats(), m.ci.Usage()
+	var sv0 cloud.Savings
+	if m.cached != nil {
+		sv0 = m.cached.Savings()
+	}
 	for t := start; t+m.cfg.Horizon <= end; t += m.cfg.Horizon {
 		rec, err := dataset.BuildRecord(m.ex, t, m.cfg)
 		if err != nil {
@@ -301,7 +344,14 @@ func (m *Marshaller) RunDetailed(start, end int) (Report, []dataset.Record, []me
 				continue
 			}
 			abs := video.Interval{Start: t + pred.OI[k].Start, End: t + pred.OI[k].End}
-			res, err := m.res.Detect(m.ex.Events()[k], abs)
+			var res resilience.Result
+			var err error
+			if m.cached != nil {
+				key := cicache.SignWindow(rec.X, m.ex.Events(), m.ex.Events()[k], pred.OI[k], m.costs.Cache.Epsilon)
+				res, err = m.res.DetectKeyed(key, m.ex.Events()[k], abs)
+			} else {
+				res, err = m.res.Detect(m.ex.Events()[k], abs)
+			}
 			// Deferred calls consumed simulated time too (failed attempts,
 			// backoff); the relay histogram records both outcomes.
 			m.relayH.Observe(res.ElapsedMS)
@@ -333,6 +383,14 @@ func (m *Marshaller) RunDetailed(start, end int) (Report, []dataset.Record, []me
 	rep.CIFailedAttempts = st.Failures
 	rep.CIBackoffMS = st.BackoffMS
 	rep.BreakerTrips = st.Trips
+	if m.cached != nil {
+		sv := m.cached.Savings()
+		rep.CacheHits = sv.Hits - sv0.Hits
+		rep.CacheSavedFrames = sv.SavedFrames - sv0.SavedFrames
+		rep.CacheSavedUSD = sv.SavedUSD - sv0.SavedUSD
+		m.cacheHitsC.Add(float64(rep.CacheHits))
+		m.cacheSavedC.Add(rep.CacheSavedUSD)
+	}
 	m.horizonsC.Add(float64(rep.Horizons))
 	m.deferredC.Add(float64(rep.CIDeferred))
 	m.ciFramesC.Add(float64(u.Frames - u0.Frames))

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"eventhit/internal/cicache"
 	"eventhit/internal/cloud"
 	"eventhit/internal/video"
 )
@@ -136,6 +137,29 @@ func (c *Client) Stats() Stats {
 // last attempt's cause). Either way ElapsedMS has already been charged to
 // the clock.
 func (c *Client) Detect(eventType int, win video.Interval) (Result, error) {
+	return c.detect(win, func() (cloud.Detection, float64, error) {
+		return c.backend.DetectTimed(eventType, win)
+	})
+}
+
+// DetectKeyed is Detect routed through the backend's content-addressed
+// surface (cloud.KeyedDetector) so a caching backend can dedup by the
+// caller-supplied key. A cache hit behaves as an instantly successful
+// attempt: zero latency charged, the breaker sees a success. Backends
+// without the keyed surface fall back to the plain path.
+func (c *Client) DetectKeyed(key cicache.Key, eventType int, win video.Interval) (Result, error) {
+	kb, ok := c.backend.(cloud.KeyedDetector)
+	if !ok {
+		return c.Detect(eventType, win)
+	}
+	return c.detect(win, func() (cloud.Detection, float64, error) {
+		return kb.DetectTimedKeyed(key, eventType, win)
+	})
+}
+
+// detect is the shared retry/backoff/timeout/breaker engine; call performs
+// one backend attempt.
+func (c *Client) detect(win video.Interval, call func() (cloud.Detection, float64, error)) (Result, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	req := c.requests
@@ -165,7 +189,7 @@ func (c *Client) Detect(eventType int, win video.Interval) (Result, error) {
 			res.Deferred = true
 			return res, fmt.Errorf("resilience: request %d after %d attempts: %w", req, res.Attempts, ErrOpen)
 		}
-		det, lat, err := c.backend.DetectTimed(eventType, win)
+		det, lat, err := call()
 		res.Attempts++
 		c.stats.Attempts++
 		if timeout > 0 && lat > timeout {

@@ -99,6 +99,20 @@ func (c *Client) CreateSession(id string) (string, error) {
 	return out.ID, err
 }
 
+// DeleteSession removes a session and releases its fleet rate bucket.
+func (c *Client) DeleteSession(id string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/sessions/"+url.PathEscape(id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, nil)
+}
+
 // Sessions lists every session's counters in creation order.
 func (c *Client) Sessions() ([]SessionInfo, error) {
 	var out []SessionInfo

@@ -77,7 +77,7 @@ func TestStatsJSONShapeWithoutRelay(t *testing.T) {
 }
 
 var (
-	sampleLine = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? -?[0-9.eE+]+(Inf|NaN)?$`)
+	sampleLine = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? -?[0-9.eE+-]+(Inf|NaN)?$`)
 	helpLine   = regexp.MustCompile(`^# HELP [a-zA-Z_][a-zA-Z0-9_]* `)
 	typeLine   = regexp.MustCompile(`^# TYPE [a-zA-Z_][a-zA-Z0-9_]* (counter|gauge|histogram)$`)
 )

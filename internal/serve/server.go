@@ -16,16 +16,17 @@
 //
 // API (JSON over HTTP):
 //
-//	POST /v1/frames   {"frames": [[...],[...]]}       -> {"buffered": n, "next": absIndex}
-//	POST /v1/predict  ?confidence=0.9&coverage=0.9    -> per-event decisions
-//	POST /v1/sessions {"id": "cam-7"}                 -> {"id": ...} (id optional)
-//	GET  /v1/sessions                                 -> per-session counters
-//	POST /v1/sessions/{id}/frames                     -> as /v1/frames, for one session
-//	POST /v1/sessions/{id}/predict                    -> as /v1/predict, for one session
-//	GET  /v1/stats                                    -> counters incl. estimated spend
-//	GET  /v1/healthz                                  -> 200 "ok"
-//	GET  /metrics                                     -> Prometheus text exposition
-//	GET  /debug/pprof/*                               -> profiling (Config.EnablePprof)
+//	POST   /v1/frames   {"frames": [[...],[...]]}     -> {"buffered": n, "next": absIndex}
+//	POST   /v1/predict  ?confidence=0.9&coverage=0.9  -> per-event decisions
+//	POST   /v1/sessions {"id": "cam-7"}               -> {"id": ...} (id optional)
+//	GET    /v1/sessions                               -> per-session counters
+//	DELETE /v1/sessions/{id}                          -> 204; frees the session and its rate bucket
+//	POST   /v1/sessions/{id}/frames                   -> as /v1/frames, for one session
+//	POST   /v1/sessions/{id}/predict                  -> as /v1/predict, for one session
+//	GET    /v1/stats                                  -> counters incl. estimated spend
+//	GET    /v1/healthz                                -> 200 "ok"
+//	GET    /metrics                                   -> Prometheus text exposition
+//	GET    /debug/pprof/*                             -> profiling (Config.EnablePprof)
 package serve
 
 import (
@@ -38,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"eventhit/internal/cicache"
 	"eventhit/internal/cloud"
 	"eventhit/internal/dataset"
 	"eventhit/internal/fleet"
@@ -89,6 +91,12 @@ type Config struct {
 	// Resilience overrides the CI client policy; nil uses
 	// resilience.DefaultConfig(0).
 	Resilience *resilience.Config
+	// Cache, when non-nil, interposes a content-addressed CI result cache
+	// (internal/cicache) between the resilient client and the CI: relays
+	// whose covariate window carries an already-seen quantized signature
+	// are served from the stored verdict with zero billing and zero CI
+	// latency. Requires CI (the server must own the relay to intercept it).
+	Cache *cicache.Config
 	// Fleet, when non-nil, gates every decided relay through a shared
 	// admission arbiter: per-session token buckets in billed frames plus a
 	// global spend cap (see fleet.Arbiter). A relay the arbiter declines is
@@ -154,6 +162,15 @@ type Server struct {
 	// fleet layer is one CI channel behind many streams.
 	relay *resilience.Client
 
+	// cached wraps Config.CI with the shared result cache (nil when
+	// Config.Cache is unset); the relay client then talks to it. Internally
+	// synchronized; read outside mu.
+	cached *cloud.CachedBackend
+
+	// eventSet maps decision slot k to CI event type (CIEvents or the
+	// identity), precomputed for cache signing.
+	eventSet []int
+
 	// arbiter meters relays across sessions (nil when Config.Fleet is
 	// unset). It is internally synchronized and must be consulted outside
 	// mu.
@@ -203,12 +220,38 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.sessions[DefaultSession] = &session{id: DefaultSession}
 	s.order = append(s.order, DefaultSession)
+	s.eventSet = cfg.CIEvents
+	if s.eventSet == nil {
+		s.eventSet = make([]int, mc.NumEvents)
+		for k := range s.eventSet {
+			s.eventSet[k] = k
+		}
+	}
+	if cfg.Cache != nil && cfg.CI == nil {
+		return nil, fmt.Errorf("serve: Cache requires CI (the server must own the relay)")
+	}
 	if cfg.CI != nil {
 		rcfg := resilience.DefaultConfig(0)
 		if cfg.Resilience != nil {
 			rcfg = *cfg.Resilience
 		}
-		s.relay = resilience.NewClient(cfg.CI, rcfg, nil)
+		backend := cfg.CI
+		if cfg.Cache != nil {
+			cache, err := cicache.New(*cfg.Cache)
+			if err != nil {
+				return nil, fmt.Errorf("serve: %w", err)
+			}
+			s.cached = cloud.NewCachedBackend(cfg.CI, cache, cfg.PerFrameUSD)
+			backend = s.cached
+			cache.Register(s.metrics, nil)
+			s.metrics.CounterFunc("eventhit_cicache_saved_frames_total",
+				"billed frames avoided by cache hits", nil,
+				func() float64 { return float64(s.cached.Savings().SavedFrames) })
+			s.metrics.CounterFunc("eventhit_cicache_saved_usd_total",
+				"CI spend avoided by cache hits", nil,
+				func() float64 { return s.cached.Savings().SavedUSD })
+		}
+		s.relay = resilience.NewClient(backend, rcfg, nil)
 		s.relay.Register(s.metrics, nil)
 		cloud.RegisterUsage(s.metrics, nil, cfg.CI)
 	}
@@ -225,6 +268,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/predict", s.instrument("/v1/predict", s.forSession("", s.handlePredict)))
 	s.mux.HandleFunc("POST /v1/sessions", s.instrument("/v1/sessions", s.handleSessionCreate))
 	s.mux.HandleFunc("GET /v1/sessions", s.instrument("/v1/sessions", s.handleSessionList))
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("/v1/sessions", s.handleSessionDelete))
 	s.mux.HandleFunc("POST /v1/sessions/{id}/frames", s.instrument("/v1/sessions/frames", s.forSession("id", s.handleFrames)))
 	s.mux.HandleFunc("POST /v1/sessions/{id}/predict", s.instrument("/v1/sessions/predict", s.forSession("id", s.handlePredict)))
 	s.mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
@@ -405,6 +449,37 @@ func (s *Server) handleSessionList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, out)
 }
 
+// handleSessionDelete removes a session: its ingest buffer and counters are
+// dropped and its fleet rate bucket (if any) is released. The default
+// session is not deletable — the un-prefixed endpoints depend on it.
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if id == DefaultSession {
+		httpError(w, http.StatusBadRequest, "the %q session cannot be deleted", DefaultSession)
+		return
+	}
+	s.mu.Lock()
+	if s.sessions[id] == nil {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	delete(s.sessions, id)
+	for i, o := range s.order {
+		if o == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	// The arbiter is internally synchronized; release outside mu to keep
+	// the lock order flat.
+	if s.arbiter != nil {
+		s.arbiter.Release(id)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
 // FramesRequest is the POST /v1/frames body.
 type FramesRequest struct {
 	Frames [][]float64 `json:"frames"`
@@ -543,8 +618,21 @@ func (s *Server) handlePredict(sess *session, w http.ResponseWriter, r *http.Req
 			abs := video.Interval{Start: anchor + pred.OI[k].Start, End: anchor + pred.OI[k].End}
 			d.Start, d.End = abs.Start, abs.End
 			relays++
+			et := s.eventSet[k]
+			// Sign the covariate window up front: a relay the cache can
+			// already answer is free, so neither the token bucket nor the
+			// global budget should see it (matching the fleet scheduler,
+			// which consults the cache before its meters). No TOCTOU: the
+			// relay path is serialized under relayMu, so the entry cannot
+			// be evicted between this check and the keyed Detect below.
+			var key cicache.Key
+			cachedHit := false
+			if s.cached != nil {
+				key = cicache.SignWindow(x, s.eventSet, et, pred.OI[k], s.cfg.Cache.Epsilon)
+				cachedHit = s.cached.Cache().Contains(key, abs.Start)
+			}
 			admitted := true
-			if s.arbiter != nil {
+			if s.arbiter != nil && !cachedHit {
 				// The arbiter meters decided relays whether the server or the
 				// caller ships the frames: a declined relay is deferred and
 				// its frames never count against EstimatedUSD's "to cloud"
@@ -556,13 +644,19 @@ func (s *Server) handlePredict(sess *session, w http.ResponseWriter, r *http.Req
 				}
 			}
 			if admitted {
-				frames += int64(abs.Len())
+				if !cachedHit {
+					frames += int64(abs.Len())
+				}
 				if s.relay != nil {
-					et := k
-					if s.cfg.CIEvents != nil {
-						et = s.cfg.CIEvents[k]
+					var res resilience.Result
+					var err error
+					if s.cached != nil {
+						// The keyed path makes an identical-looking request a
+						// cache hit below the resilient client.
+						res, err = s.relay.DetectKeyed(key, et, abs)
+					} else {
+						res, err = s.relay.Detect(et, abs)
 					}
-					res, err := s.relay.Detect(et, abs)
 					if err != nil {
 						// Graceful degradation: the decision is served to the
 						// caller regardless; the relay is recorded as deferred.
@@ -642,6 +736,15 @@ type Stats struct {
 	AdmissionDeferred int64   `json:"admissionDeferred"`
 	AdmittedUSD       float64 `json:"admittedUSD"`
 	BudgetUSD         float64 `json:"budgetUSD"`
+	// CI result cache (zero values when Config.Cache is unset). CacheEnabled
+	// distinguishes "cache off" from "cache on, nothing cached yet".
+	CacheEnabled   bool    `json:"cacheEnabled"`
+	CacheHits      int64   `json:"cacheHits"`
+	CacheMisses    int64   `json:"cacheMisses"`
+	CacheHitRatio  float64 `json:"cacheHitRatio"`
+	CacheEntries   int     `json:"cacheEntries"`
+	CacheEvictions int64   `json:"cacheEvictions"`
+	CacheSavedUSD  float64 `json:"cacheSavedUSD"`
 }
 
 // snapshot assembles Stats from one critical section. The relay/CI fields
@@ -683,6 +786,17 @@ func (s *Server) snapshot() Stats {
 		as := s.arbiter.Stats()
 		st.AdmittedUSD = as.AdmittedUSD
 		st.BudgetUSD = as.GlobalBudgetUSD
+	}
+	// The cache is likewise internally synchronized.
+	if s.cached != nil {
+		st.CacheEnabled = true
+		cs := s.cached.Cache().Stats()
+		st.CacheHits = cs.Hits
+		st.CacheMisses = cs.Misses
+		st.CacheHitRatio = cs.HitRatio()
+		st.CacheEntries = cs.Entries
+		st.CacheEvictions = cs.Evictions
+		st.CacheSavedUSD = s.cached.Savings().SavedUSD
 	}
 	return st
 }

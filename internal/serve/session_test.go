@@ -159,3 +159,87 @@ func TestFleetAdmissionAllows(t *testing.T) {
 		t.Fatalf("arbiter and serve spend disagree: %+v", st)
 	}
 }
+
+// TestSessionDelete covers the DELETE endpoint: a deleted session vanishes
+// from the list, its buffered frames are gone if recreated, the default
+// session is protected, and unknown ids are 404.
+func TestSessionDelete(t *testing.T) {
+	c, bw := newFleetServer(t, &fleet.ArbiterConfig{
+		PerFrameUSD:       0.001,
+		SessionRatePerSec: 1,
+		SessionBurst:      100000,
+	})
+	if id, err := c.CreateSession("cam-1"); err != nil || id != "cam-1" {
+		t.Fatalf("create = %q, %v", id, err)
+	}
+	if _, err := c.PushFramesSession("cam-1", relayWindow(bw)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteSession("cam-1"); err != nil {
+		t.Fatal(err)
+	}
+	list, err := c.Sessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != DefaultSession {
+		t.Fatalf("deleted session still listed: %+v", list)
+	}
+	// A fresh session under the same id has no leftover buffer.
+	if _, err := c.CreateSession("cam-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PredictSession("cam-1", 0.95, 0.9); err == nil ||
+		!strings.Contains(err.Error(), "window not full") {
+		t.Fatalf("recreated session inherited the old buffer: %v", err)
+	}
+	// Unknown and protected ids.
+	if err := c.DeleteSession("never-created"); err == nil || !strings.Contains(err.Error(), "404") &&
+		!strings.Contains(err.Error(), "unknown session") {
+		t.Fatalf("unknown delete = %v", err)
+	}
+	if err := c.DeleteSession(DefaultSession); err == nil ||
+		!strings.Contains(err.Error(), "cannot be deleted") {
+		t.Fatalf("default delete = %v", err)
+	}
+}
+
+// TestSessionDeleteReleasesBucket: a session that drained its admission
+// bucket gets a fresh one after delete + recreate — the arbiter state was
+// released, not leaked.
+func TestSessionDeleteReleasesBucket(t *testing.T) {
+	c, bw := newFleetServer(t, &fleet.ArbiterConfig{
+		PerFrameUSD:       0.001,
+		SessionRatePerSec: 0.001, // effectively no refill within the test
+		SessionBurst:      250,   // one 200-frame relay's worth, not two
+	})
+	predictOnce := func() Decision {
+		t.Helper()
+		if _, err := c.PushFramesSession("cam-1", relayWindow(bw)); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := c.PredictSession("cam-1", 0.95, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Decisions[0]
+	}
+	if _, err := c.CreateSession("cam-1"); err != nil {
+		t.Fatal(err)
+	}
+	if d := predictOnce(); !d.Relay || d.Deferred {
+		t.Fatalf("first relay not admitted: %+v", d)
+	}
+	if d := predictOnce(); !d.Relay || !d.Deferred {
+		t.Fatalf("drained bucket still admitted: %+v", d)
+	}
+	if err := c.DeleteSession("cam-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateSession("cam-1"); err != nil {
+		t.Fatal(err)
+	}
+	if d := predictOnce(); !d.Relay || d.Deferred {
+		t.Fatalf("recreated session did not get a fresh bucket: %+v", d)
+	}
+}

@@ -14,6 +14,11 @@
 #              -race, then regenerate BENCH_fleet.json at two parallelism
 #              levels and require all three byte-identical: the committed
 #              report is provably reproducible on this machine
+#   shuffle    the whole suite once more with randomized test order: no
+#              test may depend on a sibling having run first
+#   cache      regenerate BENCH_cache.json (the cache epsilon x TTL sweep)
+#              at two parallelism levels, byte-identical to the committed
+#              artifact
 set -eu
 
 echo "== gofmt =="
@@ -32,6 +37,9 @@ go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== go test -shuffle=on =="
+go test -shuffle=on ./...
 
 echo "== metrics scrape under load (race) =="
 go test -race ./internal/serve/ -run 'TestStatsConsistentUnderLoad|TestMetricsEndpoint' -count=1
@@ -55,5 +63,14 @@ go run ./cmd/eventhitfleet -quick -streams 3 -frames 20000 -seed 5 \
     -out "$tmpdir/fleet_p4.json" >/dev/null
 cmp "$tmpdir/fleet_p1.json" "$tmpdir/fleet_p4.json"
 cmp "$tmpdir/fleet_p1.json" BENCH_fleet.json
+
+echo "== BENCH_cache.json regeneration (byte-identical at parallelism 1 and 4) =="
+go test ./internal/harness/ -run 'TestCacheGoldenJSONShape' -count=1
+go run ./cmd/eventhitfleet -cachesweep -quick -streams 4 -frames 12000 -seed 5 \
+    -parallelism 1 -cacheout "$tmpdir/cache_p1.json" >/dev/null
+go run ./cmd/eventhitfleet -cachesweep -quick -streams 4 -frames 12000 -seed 5 \
+    -parallelism 4 -cacheout "$tmpdir/cache_p4.json" >/dev/null
+cmp "$tmpdir/cache_p1.json" "$tmpdir/cache_p4.json"
+cmp "$tmpdir/cache_p1.json" BENCH_cache.json
 
 echo "OK"
