@@ -21,6 +21,7 @@ import (
 	"eventhit/internal/features"
 	"eventhit/internal/harness"
 	"eventhit/internal/mathx"
+	"eventhit/internal/metrics"
 	"eventhit/internal/nn"
 	"eventhit/internal/strategy"
 	"eventhit/internal/video"
@@ -451,6 +452,141 @@ func BenchmarkDensity(b *testing.B) {
 		if _, err := harness.Density(harness.Quick(), []float64{1, 2}, 1, io.Discard); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---- predict fast path (see DESIGN.md "Predict fast path") ----
+
+// predictFixture builds an untrained but calibrated EventHit setup over a
+// real generated stream, shared by the hot-path benchmarks. Training is
+// irrelevant to wall-clock shape, so it is skipped.
+func predictFixture(b *testing.B) (*features.Extractor, *strategy.Bundle, dataset.Config) {
+	b.Helper()
+	st := video.Generate(video.VIRAT(), mathx.NewRNG(1))
+	ex, err := features.NewExtractor(st, []int{0}, features.DefaultDetector(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := dataset.Config{Window: 25, Horizon: 500}
+	splits, err := dataset.Build(ex, dataset.SampleConfig{
+		Config: cfg,
+		NTrain: 1, NCCalib: 60, NRCalib: 60, NTest: 1,
+		TrainPosFrac: 0.5,
+	}, mathx.NewRNG(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.New(core.DefaultConfig(ex.Dim(), cfg.Window, cfg.Horizon, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	bundle, err := strategy.Calibrate(m, splits.CCalib, splits.RCalib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ex, bundle, cfg
+}
+
+// benchPredictHot times the full per-frame step of the live regime —
+// assemble the stride-1 sliding window, predict, decode — on one of the
+// four path configurations, and asserts the path's steady-state allocation
+// ceiling (the returned Prediction and the decode's occurrence slice are
+// the only allowed per-step allocations; windows and logits must come from
+// reused buffers on the incremental/scratch paths).
+func benchPredictHot(b *testing.B, quantized, incremental bool, maxAllocs float64) {
+	b.Helper()
+	ex, bundle, cfg := predictFixture(b)
+	var src dataset.Source = ex
+	if incremental {
+		cs, err := features.NewCachedSource(ex)
+		if err != nil {
+			b.Fatal(err)
+		}
+		src = cs
+	}
+	strat := bundle.EHCR(0.9, 0.9)
+	if quantized {
+		q, err := strat.(strategy.Quantizable).Quantized()
+		if err != nil {
+			b.Fatal(err)
+		}
+		strat = q
+	}
+	start := cfg.Window - 1
+	step := func(t int) metrics.Prediction {
+		x, err := src.Covariates(t, cfg.Window)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return strat.Predict(dataset.Record{Frame: t, X: x})
+	}
+	step(start) // warm caches and scratch
+	t := start + 1
+	if allocs := testing.AllocsPerRun(20, func() {
+		step(t)
+		t++
+	}); allocs > maxAllocs {
+		b.Fatalf("predict hot step: %.0f allocs/op, want <= %.0f", allocs, maxAllocs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step(start + 1 + (t-start+i)%30_000)
+	}
+}
+
+// BenchmarkPredictHotFloat is the seed float path: full window
+// re-extraction plus float LSTM inference. Its ceiling admits the window
+// matrix and row allocations the fast paths eliminate.
+func BenchmarkPredictHotFloat(b *testing.B) { benchPredictHot(b, false, false, 40) }
+
+// BenchmarkPredictHotQuant swaps in the int16 fixed-point model.
+func BenchmarkPredictHotQuant(b *testing.B) { benchPredictHot(b, true, false, 40) }
+
+// BenchmarkPredictHotIncremental keeps the float model but assembles
+// windows from the per-stream ring buffer (O(1) new-frame work).
+func BenchmarkPredictHotIncremental(b *testing.B) { benchPredictHot(b, false, true, 8) }
+
+// BenchmarkPredictHotFast is the shipping fast path: quantized inference
+// over incrementally assembled windows.
+func BenchmarkPredictHotFast(b *testing.B) { benchPredictHot(b, true, true, 8) }
+
+// BenchmarkWindowAssemblyRecompute measures O(W) window re-extraction —
+// what the seed path pays per frame advance.
+func BenchmarkWindowAssemblyRecompute(b *testing.B) {
+	ex, _, cfg := predictFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Covariates(cfg.Window-1+i%30_000, cfg.Window); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWindowAssemblyIncremental measures the ring buffer's O(1)
+// frame advance via the zero-allocation WindowCache.Window fast path,
+// asserting the zero-alloc invariant.
+func BenchmarkWindowAssemblyIncremental(b *testing.B) {
+	ex, _, cfg := predictFixture(b)
+	cache := features.NewWindowCache(ex, cfg.Window)
+	dst := make([][]float64, 0, cfg.Window)
+	window := func(t int) {
+		var err error
+		dst, err = cache.Window(t, cfg.Window, dst[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	window(cfg.Window - 1) // warm
+	t := cfg.Window
+	if allocs := testing.AllocsPerRun(20, func() {
+		window(t)
+		t++
+	}); allocs > 0 {
+		b.Fatalf("incremental window assembly: %.0f allocs/op, want 0", allocs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		window(cfg.Window - 1 + i%30_000)
 	}
 }
 

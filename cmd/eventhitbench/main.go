@@ -46,7 +46,7 @@ func writeJSONFile(path string, v interface{}) error {
 
 func main() {
 	var (
-		exp         = flag.String("exp", "", "experiment to run (table1, table2, fig4[all], fig5..fig10, resources, ablation, drift, multi, geom, validity, operate, tune, summary, loss, parbench, resilience, cache, all)")
+		exp         = flag.String("exp", "", "experiment to run (table1, table2, fig4[all], fig5..fig10, resources, ablation, drift, multi, geom, validity, operate, tune, summary, loss, parbench, resilience, cache, speed, speedparity, all)")
 		task        = flag.String("task", "TA1", "task for single-task experiments (fig4, resources, loss)")
 		trials      = flag.Int("trials", 3, "independent trials to average (the paper uses 10)")
 		seed        = flag.Int64("seed", 1, "base random seed")
@@ -57,6 +57,10 @@ func main() {
 		benchOut    = flag.String("benchout", "BENCH_parallel.json", "output file for the parbench experiment")
 		resOut      = flag.String("resout", "BENCH_resilience.json", "output file for the resilience experiment")
 		cacheOut    = flag.String("cacheout", "BENCH_cache.json", "output file for the cache experiment")
+		speedOut    = flag.String("speedout", "BENCH_speed.json", "output file for the speed experiment (speedparity prints to stdout)")
+		stride      = flag.Int("stride", 1, "speed experiment: frames the anchor advances between predictions")
+		anchors     = flag.Int("anchors", 1500, "speed experiment: max predictions timed per path")
+		repeats     = flag.Int("repeats", 3, "speed experiment: timing repeats per path (best-of)")
 		metricsOut  = flag.String("metricsout", "", "after all experiments, dump the process metrics registry (Prometheus text) to this file")
 	)
 	flag.Parse()
@@ -177,6 +181,24 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *cacheOut)
 			return nil
+		case "speed":
+			res, err := harness.SpeedSweep(*task, opt, *stride, *anchors, *repeats, *seed, os.Stdout)
+			if err != nil {
+				return err
+			}
+			if err := writeJSONFile(*speedOut, res); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *speedOut)
+			return nil
+		case "speedparity":
+			res, err := harness.SpeedParityCheck(*task, opt, *seed)
+			if err != nil {
+				return err
+			}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(res)
 		case "parbench":
 			res, err := harness.ParallelBench(opt, *seed, *parallelism, *trials, os.Stdout)
 			if err != nil {

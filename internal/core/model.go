@@ -124,7 +124,8 @@ type Model struct {
 	params   []*nn.Param
 
 	// scratch reused across forward passes
-	zcat []float64
+	zcat    []float64
+	headOut [][]float64
 }
 
 // New constructs an EventHit model from cfg with freshly initialized
@@ -211,7 +212,10 @@ func (m *Model) rawForward(x [][]float64) [][]float64 {
 	z = m.drop.Forward(z)
 	copy(m.zcat[:m.cfg.HiddenTrunk], z)
 	copy(m.zcat[m.cfg.HiddenTrunk:], x[len(x)-1])
-	out := make([][]float64, len(m.heads))
+	if len(m.headOut) != len(m.heads) {
+		m.headOut = make([][]float64, len(m.heads))
+	}
+	out := m.headOut
 	for k, hd := range m.heads {
 		a := hd.fc1.Forward(m.zcat)
 		a = hd.act.Forward(a)
@@ -265,20 +269,56 @@ func (m *Model) encodeForward(x [][]float64) []float64 {
 }
 
 // Predict runs inference (dropout disabled) on one covariate window and
-// returns probabilities.
+// returns probabilities. The Output owns its slices; it survives any later
+// Predict.
 func (m *Model) Predict(x [][]float64) Output {
+	var out Output
+	m.PredictInto(x, &out)
+	return out
+}
+
+// PredictInto is Predict writing into caller-owned buffers: out's slices
+// are reused when large enough, so a hot loop that recycles one Output
+// allocates nothing per call. The buffers are overwritten by the next
+// PredictInto with the same out.
+func (m *Model) PredictInto(x [][]float64, out *Output) {
 	m.drop.SetTraining(false)
 	logits := m.rawForward(x)
-	out := Output{B: make([]float64, len(logits)), Theta: make([][]float64, len(logits))}
+	growOutput(out, len(logits), m.cfg.Horizon)
 	for k, lk := range logits {
 		out.B[k] = mathx.Sigmoid(lk[0])
-		th := make([]float64, m.cfg.Horizon)
+		th := out.Theta[k]
 		for v := 0; v < m.cfg.Horizon; v++ {
 			th[v] = mathx.Sigmoid(lk[1+v])
 		}
-		out.Theta[k] = th
 	}
-	return out
+}
+
+// Logits runs inference and returns the raw per-head logit vectors
+// (length 1+H) before the sigmoid — the quantization parity tests compare
+// these directly. The slices are the layers' scratch: valid until the next
+// forward pass through m.
+func (m *Model) Logits(x [][]float64) [][]float64 {
+	m.drop.SetTraining(false)
+	return m.rawForward(x)
+}
+
+// growOutput sizes out for k events over horizon h, reusing capacity.
+func growOutput(out *Output, k, h int) {
+	if cap(out.B) < k {
+		out.B = make([]float64, k)
+	}
+	out.B = out.B[:k]
+	if cap(out.Theta) < k {
+		out.Theta = append(out.Theta[:cap(out.Theta)], make([][]float64, k-cap(out.Theta))...)
+	}
+	out.Theta = out.Theta[:k]
+	for i := range out.Theta {
+		if cap(out.Theta[i]) < h {
+			out.Theta[i] = make([]float64, h)
+		}
+		out.Theta[i] = out.Theta[i][:h]
+	}
 }
 
 // DecodeExistence applies Equation (4): event k is predicted to occur when

@@ -50,6 +50,11 @@ const maxWorkersFactor = 4
 // Inputs are already validated.
 func (m *Model) trainParallel(recs []dataset.Record, tc TrainConfig) (TrainStats, error) {
 	workers := tc.Parallelism
+	if g := runtime.GOMAXPROCS(0); !tc.ForceParallelism && workers > g {
+		// Oversubscribing cores costs sharding overhead and buys nothing
+		// (results are identical at any worker count).
+		workers = g
+	}
 	if bound := maxWorkersFactor * runtime.GOMAXPROCS(0); workers > bound {
 		workers = bound
 	}

@@ -147,3 +147,39 @@ func TestModelClone(t *testing.T) {
 		t.Fatal("clone shares weight storage with the original")
 	}
 }
+
+// TestForceParallelismBitIdentical: the default GOMAXPROCS clamp and the
+// explicit override must produce bit-identical results — the clamp is a
+// pure wall-clock optimization.
+func TestForceParallelismBitIdentical(t *testing.T) {
+	cfg, train, val := parallelFixture(t)
+	run := func(force bool) (TrainStats, [][]float64) {
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := m.Train(train, TrainConfig{
+			Epochs: 3, BatchSize: 8, LR: 3e-3, GradClip: 5, Seed: 7,
+			Val: val, Parallelism: 16, ForceParallelism: force,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats, snapshotWeights(m.params)
+	}
+	clampedStats, clampedW := run(false)
+	forcedStats, forcedW := run(true)
+	for e := range clampedStats.EpochLoss {
+		if clampedStats.EpochLoss[e] != forcedStats.EpochLoss[e] {
+			t.Fatalf("epoch %d loss differs: clamped %v forced %v",
+				e, clampedStats.EpochLoss[e], forcedStats.EpochLoss[e])
+		}
+	}
+	for p := range clampedW {
+		for i := range clampedW[p] {
+			if clampedW[p][i] != forcedW[p][i] {
+				t.Fatalf("weight [%d][%d] differs between clamped and forced runs", p, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+
+	"eventhit/internal/nn"
+)
+
+// QuantModel is the int16 fixed-point inference twin of a trained Model:
+// the LSTM encoder, trunk and every head run in Q12 activations with
+// LUT-based sigmoid/tanh (see internal/nn/lut.go for the number formats
+// and the per-activation error bounds). It shares no state with the source
+// model and is inference-only.
+//
+// Accuracy contract: per-logit probability error against the float model
+// is bounded by QuantProbTol — pinned here and enforced on trained models
+// by the core tests and the harness parity sweep (BENCH_speed.json records
+// the measured value). Like Model, a QuantModel is NOT safe for concurrent
+// use (scratch buffers are reused across calls).
+type QuantModel struct {
+	cfg   Config
+	lstm  *nn.QuantLSTM
+	trunk *nn.QuantDense
+	heads []quantHead
+	zcat  []int32 // [z ; X_n] in Q12
+}
+
+type quantHead struct {
+	fc1, fc2 *nn.QuantDense
+}
+
+// QuantProbTol is the pinned per-logit probability error bound of the
+// quantized path: for every existence score b_k and per-frame score
+// θ_{k,v}, |quant - float| <= QuantProbTol on trained models. The bound
+// stacks weight quantization (step/2 per weight through ~2H-term dots),
+// activation quantization (2^-13 per step through the recurrence) and the
+// LUT error (1e-4); empirically trained TA-task models stay under 6e-3,
+// so 0.02 holds a 3x margin. Verified by core's TestQuantModelParity and
+// the harness speed parity sweep.
+const QuantProbTol = 0.02
+
+// Quantize builds the fixed-point twin of m. Only the paper's primary
+// architecture (the LSTM encoder) has a quantized kernel; other encoders
+// return an error so callers can fall back to the float path explicitly.
+func Quantize(m *Model) (*QuantModel, error) {
+	if m.lstm == nil {
+		enc := m.cfg.Encoder
+		if enc == "" {
+			enc = "lstm"
+		}
+		return nil, fmt.Errorf("core: quantized inference supports only the lstm encoder (model uses %q)", enc)
+	}
+	q := &QuantModel{
+		cfg:   m.cfg,
+		lstm:  nn.QuantizeLSTM(m.lstm),
+		trunk: nn.QuantizeDense(m.trunk),
+		zcat:  make([]int32, m.cfg.HiddenTrunk+m.cfg.InputDim),
+	}
+	for _, hd := range m.heads {
+		q.heads = append(q.heads, quantHead{
+			fc1: nn.QuantizeDense(hd.fc1),
+			fc2: nn.QuantizeDense(hd.fc2),
+		})
+	}
+	// Size the encoder's input-projection ring to double the window so the
+	// stride-1 regime keeps every shared frame warm (results are identical
+	// at any size; see nn.QuantLSTM.EnableFrameCache).
+	q.lstm.EnableFrameCache(2 * m.cfg.Window)
+	return q, nil
+}
+
+// Config returns the source model's configuration.
+func (q *QuantModel) Config() Config { return q.cfg }
+
+// forward runs the fixed-point network and leaves each head's Q12 logits
+// in its fc2 scratch; fn receives them per head. frames true marks x as a
+// window of consecutive stream frames ending at frame `end`, which lets
+// the encoder reuse cached input projections of overlapping windows.
+func (q *QuantModel) forward(x [][]float64, end int, frames bool, fn func(k int, logits []int32)) {
+	if len(x) != q.cfg.Window {
+		panic(fmt.Sprintf("core: covariates have %d rows, model window is %d", len(x), q.cfg.Window))
+	}
+	var h []int32
+	if frames {
+		h = q.lstm.ForwardQFrames(x, end-len(x)+1)
+	} else {
+		h = q.lstm.ForwardQ(x)
+	}
+	z := q.trunk.ForwardQ(h)
+	for i, v := range z {
+		if v < 0 {
+			z[i] = 0 // trunk ReLU
+		}
+	}
+	copy(q.zcat[:q.cfg.HiddenTrunk], z)
+	last := x[len(x)-1]
+	for i, v := range last {
+		q.zcat[q.cfg.HiddenTrunk+i] = nn.QuantAct(v)
+	}
+	for k := range q.heads {
+		hd := &q.heads[k]
+		a := hd.fc1.ForwardQ(q.zcat)
+		for i, v := range a {
+			if v < 0 {
+				a[i] = 0 // head ReLU
+			}
+		}
+		fn(k, hd.fc2.ForwardQ(a))
+	}
+}
+
+// Predict mirrors Model.Predict on the fixed-point path. The Output owns
+// its slices.
+func (q *QuantModel) Predict(x [][]float64) Output {
+	var out Output
+	q.PredictInto(x, &out)
+	return out
+}
+
+// PredictInto mirrors Model.PredictInto: zero allocations per call once
+// out's buffers are warm.
+func (q *QuantModel) PredictInto(x [][]float64, out *Output) {
+	q.predictInto(x, 0, false, out)
+}
+
+// PredictFrameInto is PredictInto for a window of consecutive stream
+// frames ending at frame `end` (row i is frame end-len(x)+1+i). It returns
+// the same output as PredictInto — cached input projections are verified
+// against the presented covariates — but skips the encoder's Wx dot
+// products for frames shared with recent calls, the dominant saving of the
+// stride-1 sliding-window regime.
+func (q *QuantModel) PredictFrameInto(x [][]float64, end int, out *Output) {
+	q.predictInto(x, end, true, out)
+}
+
+func (q *QuantModel) predictInto(x [][]float64, end int, frames bool, out *Output) {
+	growOutput(out, len(q.heads), q.cfg.Horizon)
+	q.forward(x, end, frames, func(k int, logits []int32) {
+		out.B[k] = nn.DequantGate(nn.SigmoidQ(logits[0]))
+		th := out.Theta[k]
+		for v := 0; v < q.cfg.Horizon; v++ {
+			th[v] = nn.DequantGate(nn.SigmoidQ(logits[1+v]))
+		}
+	})
+}
+
+// Logits returns the dequantized per-head logit vectors (length 1+H), the
+// fixed-point counterpart of Model.Logits for parity measurement. The
+// returned slices are freshly allocated.
+func (q *QuantModel) Logits(x [][]float64) [][]float64 {
+	out := make([][]float64, len(q.heads))
+	q.forward(x, 0, false, func(k int, logits []int32) {
+		lk := make([]float64, len(logits))
+		for i, v := range logits {
+			lk[i] = nn.DequantAct(v)
+		}
+		out[k] = lk
+	})
+	return out
+}

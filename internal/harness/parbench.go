@@ -39,11 +39,20 @@ type HarnessBench struct {
 // training run and a harness experiment, plus the machine context needed to
 // interpret the ratios (on a single-CPU box both speedups sit near 1).
 type ParallelBenchResult struct {
-	CPUs        int          `json:"cpus"`
-	GOMAXPROCS  int          `json:"gomaxprocs"`
-	Parallelism int          `json:"parallelism"`
-	Train       TrainBench   `json:"train"`
-	Harness     HarnessBench `json:"harness"`
+	CPUs       int `json:"cpus"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Parallelism is the REQUESTED worker count; EffectiveParallelism is
+	// what both engines actually ran with after the default clamp to
+	// GOMAXPROCS (results are bit-identical either way, so the clamp only
+	// avoids paying sharding overhead for idle workers). Clamped records
+	// whether the clamp engaged; ClampNote spells it out for humans
+	// reading the JSON.
+	Parallelism          int          `json:"parallelism"`
+	EffectiveParallelism int          `json:"effective_parallelism"`
+	Clamped              bool         `json:"clamped"`
+	ClampNote            string       `json:"clamp_note,omitempty"`
+	Train                TrainBench   `json:"train"`
+	Harness              HarnessBench `json:"harness"`
 }
 
 // ParallelBench measures the wall-clock effect of the two parallel paths
@@ -118,10 +127,16 @@ func ParallelBench(opt Options, seed int64, parallelism, trials int, w io.Writer
 		return nil, err
 	}
 
+	effective := parallelism
+	if g := runtime.GOMAXPROCS(0); effective > g {
+		effective = g
+	}
 	res := &ParallelBenchResult{
-		CPUs:        runtime.NumCPU(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Parallelism: parallelism,
+		CPUs:                 runtime.NumCPU(),
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		Parallelism:          parallelism,
+		EffectiveParallelism: effective,
+		Clamped:              effective != parallelism,
 		Train: TrainBench{
 			Task: task.Name, Records: len(splits.Train), Epochs: tc.Epochs,
 			SerialMS: serialMS, ParallelMS: parallelMS,
@@ -148,6 +163,11 @@ func ParallelBench(opt Options, seed int64, parallelism, trials int, w io.Writer
 	res.Harness = HarnessBench{
 		Experiment: fmt.Sprintf("validity(TA10, %d trials)", trials),
 		SerialMS:   hs, ParallelMS: hp, Speedup: hs / hp,
+	}
+	if res.Clamped {
+		res.ClampNote = fmt.Sprintf(
+			"requested parallelism %d clamped to GOMAXPROCS=%d by default (results are bit-identical at any worker count; use core.TrainConfig.ForceParallelism / harness.ForceParallelism to oversubscribe deliberately)",
+			parallelism, res.EffectiveParallelism)
 	}
 
 	if w != nil {

@@ -1,0 +1,450 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"reflect"
+	"runtime"
+	"time"
+
+	"eventhit/internal/cloud"
+	"eventhit/internal/core"
+	"eventhit/internal/dataset"
+	"eventhit/internal/features"
+	"eventhit/internal/metrics"
+	"eventhit/internal/pipeline"
+	"eventhit/internal/strategy"
+)
+
+// SpeedSweep measures the single-core predict hot path — assemble the
+// collection window, run the predictor, decode — in the sliding-window
+// regime of a live stream (the anchor advances by a small stride, so
+// consecutive windows overlap in all but stride frames; §VI's marshalling
+// loop is dominated by exactly this scan+predict stage). Four paths are
+// timed: the seed float path, the incremental covariate cache, the int16
+// quantized model, and both combined. Each path also re-scores REC/SPL so
+// the artifact records what the speed costs in accuracy (nothing for
+// incremental, a bounded delta for quantized).
+
+// QuantRECTol is the pinned REC delta bound of the quantized path on a
+// trained harness task: per-logit probability deltas are bounded by
+// core.QuantProbTol, and only records whose decoded outcome tips inside
+// that band can change REC. Measured deltas on the TA tasks are <= 0.01;
+// 0.02 holds margin and is enforced by SpeedParity (the sweep fails, and
+// BENCH_speed.json cannot regenerate, when it is exceeded).
+const QuantRECTol = 0.02
+
+// SpeedPath is one measured hot-path configuration.
+type SpeedPath struct {
+	Name        string `json:"name"`
+	Quantized   bool   `json:"quantized"`
+	Incremental bool   `json:"incremental"`
+	// Anchors is the number of predictions timed per repeat; Frames is
+	// the stream footage they cover (anchors x stride).
+	Anchors int `json:"anchors"`
+	Frames  int `json:"frames"`
+	// WallMS is the best-of-repeats wall clock for one pass.
+	WallMS              float64 `json:"wall_ms"`
+	MicrosPerPredict    float64 `json:"us_per_predict"`
+	FramesPerSecPerCore float64 `json:"frames_per_sec_per_core"`
+	REC                 float64 `json:"rec"`
+	SPL                 float64 `json:"spl"`
+}
+
+// SpeedParity is the deterministic correctness block of the sweep: no
+// wall-clock numbers, so regenerating it is byte-identical run to run
+// (scripts/check.sh relies on that).
+type SpeedParity struct {
+	// CovariatesIdentical: cached windows deep-equal recomputed ones at
+	// every probed anchor.
+	CovariatesIdentical bool `json:"covariates_identical"`
+	// ReportsByteIdentical: the full pipeline run with quantization off
+	// and the incremental cache on serializes byte-for-byte identically
+	// to the seed path; ReportHash fingerprints both.
+	ReportsByteIdentical bool   `json:"reports_byte_identical"`
+	ReportHash           string `json:"report_hash"`
+	// MaxProbDelta is the worst per-logit probability difference between
+	// the float and quantized models over the test split, bounded by
+	// ProbBound (= core.QuantProbTol).
+	MaxProbDelta float64 `json:"max_prob_delta"`
+	ProbBound    float64 `json:"prob_bound"`
+	// RECFloat/RECQuant score the EHCR strategy on both model paths over
+	// the test split; |RECDelta| is bounded by RECBound (= QuantRECTol).
+	RECFloat float64 `json:"rec_float"`
+	RECQuant float64 `json:"rec_quant"`
+	RECDelta float64 `json:"rec_delta"`
+	RECBound float64 `json:"rec_bound"`
+}
+
+// SpeedResult is the machine-readable record emitted as BENCH_speed.json.
+type SpeedResult struct {
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Task       string `json:"task"`
+	Window     int    `json:"window"`
+	Horizon    int    `json:"horizon"`
+	// Stride is how far the anchor advances between predictions. 1 is
+	// the live per-frame regime where window overlap is maximal.
+	Stride  int         `json:"stride"`
+	Repeats int         `json:"repeats"`
+	Paths   []SpeedPath `json:"paths"`
+	// Speedups are wall-clock ratios against the float path over the
+	// identical anchor set.
+	SpeedupQuantized   float64     `json:"speedup_quantized"`
+	SpeedupIncremental float64     `json:"speedup_incremental"`
+	SpeedupFast        float64     `json:"speedup_fast_vs_float"`
+	Parity             SpeedParity `json:"parity"`
+}
+
+// speedConfidence is the EHCR operating point every path runs at.
+const speedConfidence = 0.9
+
+// SpeedSweep trains the task once, then times the four hot-path
+// configurations over the test region. stride <= 0 defaults to 1,
+// maxAnchors <= 0 to 1500, repeats <= 0 to 3 (best-of). It fails — rather
+// than reporting — when any parity invariant is violated.
+func SpeedSweep(taskName string, opt Options, stride, maxAnchors, repeats int, seed int64, w io.Writer) (*SpeedResult, error) {
+	if stride <= 0 {
+		stride = 1
+	}
+	if maxAnchors <= 0 {
+		maxAnchors = 1500
+	}
+	if repeats <= 0 {
+		repeats = 3
+	}
+	task, err := TaskByName(taskName)
+	if err != nil {
+		return nil, err
+	}
+	env, err := NewEnv(task, opt, seed)
+	if err != nil {
+		return nil, err
+	}
+	parity, err := speedParity(env)
+	if err != nil {
+		return nil, err
+	}
+
+	anchors := speedAnchors(env, stride, maxAnchors)
+	if len(anchors) == 0 {
+		return nil, fmt.Errorf("harness: speed sweep has no valid anchors (window %d, horizon %d, stream %d frames)",
+			env.Cfg.Window, env.Cfg.Horizon, env.Stream.N)
+	}
+	// Ground truth is built once, outside every timed loop.
+	labels := make([]dataset.Record, len(anchors))
+	for i, t := range anchors {
+		labels[i] = dataset.LabelRecord(env.Ex, t, env.Cfg)
+	}
+
+	res := &SpeedResult{
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Task:       task.Name,
+		Window:     env.Cfg.Window,
+		Horizon:    env.Cfg.Horizon,
+		Stride:     stride,
+		Repeats:    repeats,
+		Parity:     *parity,
+	}
+	configs := []struct {
+		name                   string
+		quantized, incremental bool
+	}{
+		{"float", false, false},
+		{"incremental", false, true},
+		{"quantized", true, false},
+		{"fast", true, true},
+	}
+	for _, c := range configs {
+		p, err := timeSpeedPath(env, anchors, labels, stride, repeats, c.quantized, c.incremental)
+		if err != nil {
+			return nil, err
+		}
+		p.Name = c.name
+		res.Paths = append(res.Paths, *p)
+	}
+	res.SpeedupIncremental = res.Paths[0].WallMS / res.Paths[1].WallMS
+	res.SpeedupQuantized = res.Paths[0].WallMS / res.Paths[2].WallMS
+	res.SpeedupFast = res.Paths[0].WallMS / res.Paths[3].WallMS
+
+	if w != nil {
+		t := NewTable(fmt.Sprintf("Predict hot path — %s (window %d, horizon %d, stride %d, %d anchors)",
+			task.Name, res.Window, res.Horizon, stride, len(anchors)),
+			"path", "us/predict", "frames/s/core", "speedup", "REC", "SPL")
+		for _, p := range res.Paths {
+			t.Addf(p.Name, fmt.Sprintf("%.1f", p.MicrosPerPredict),
+				fmt.Sprintf("%.0f", p.FramesPerSecPerCore),
+				fmt.Sprintf("%.2fx", res.Paths[0].WallMS/p.WallMS),
+				fmt.Sprintf("%.4f", p.REC), fmt.Sprintf("%.4f", p.SPL))
+		}
+		t.Render(w)
+		fmt.Fprintf(w, "parity: covariates identical=%v, reports byte-identical=%v, max prob delta=%.2g (bound %.2g), REC delta=%.4f (bound %.2g)\n",
+			parity.CovariatesIdentical, parity.ReportsByteIdentical,
+			parity.MaxProbDelta, parity.ProbBound, parity.RECDelta, parity.RECBound)
+	}
+	return res, nil
+}
+
+// speedSegLen is the number of consecutive predictions per anchor segment.
+const speedSegLen = 250
+
+// speedAnchors lists the timed anchor frames: contiguous stride-advancing
+// segments of speedSegLen predictions each, spread evenly over the test
+// region (clamped so window and horizon fit), capped at maxAnchors total.
+// Within a segment consecutive windows overlap maximally — the live
+// regime the fast path targets; a new segment is a seek, which the
+// incremental cache must absorb like a stream restart. Spreading segments
+// matters for scoring: events are sparse (tens of instances per stream),
+// so one contiguous run of a few hundred frames often holds no positives.
+func speedAnchors(env *Env, stride, maxAnchors int) []int {
+	start, end := testRegion(env)
+	if min := env.Cfg.Window - 1; start < min {
+		start = min
+	}
+	last := env.Stream.N - env.Cfg.Horizon - 1
+	if end > last {
+		end = last
+	}
+	if start > end {
+		return nil
+	}
+	nseg := (maxAnchors + speedSegLen - 1) / speedSegLen
+	if nseg < 1 {
+		nseg = 1
+	}
+	span := (speedSegLen - 1) * stride
+	var anchors []int
+	for s := 0; s < nseg && len(anchors) < maxAnchors; s++ {
+		segStart := start
+		if nseg > 1 {
+			segStart = start + s*(end-start)/nseg
+		}
+		for t := segStart; t <= end && t <= segStart+span && len(anchors) < maxAnchors; t += stride {
+			anchors = append(anchors, t)
+		}
+	}
+	return anchors
+}
+
+// speedStrategy builds one path's source and strategy pair.
+func speedStrategy(env *Env, quantized, incremental bool) (dataset.Source, strategy.Strategy, error) {
+	var src dataset.Source = env.Ex
+	if incremental {
+		cs, err := features.NewCachedSource(env.Ex)
+		if err != nil {
+			return nil, nil, err
+		}
+		src = cs
+	}
+	s := env.Bundle.EHCR(speedConfidence, speedConfidence)
+	if quantized {
+		q, err := s.(strategy.Quantizable).Quantized()
+		if err != nil {
+			return nil, nil, err
+		}
+		s = q
+	}
+	return src, s, nil
+}
+
+// timeSpeedPath runs one configuration over the anchors `repeats` times
+// (fresh source and strategy each repeat, so no repeat inherits a warm
+// cache) and keeps the best wall clock; predictions from the last repeat
+// are scored against the prebuilt labels.
+func timeSpeedPath(env *Env, anchors []int, labels []dataset.Record, stride, repeats int, quantized, incremental bool) (*SpeedPath, error) {
+	preds := make([]metrics.Prediction, len(anchors))
+	best := math.Inf(1)
+	for r := 0; r < repeats; r++ {
+		src, strat, err := speedStrategy(env, quantized, incremental)
+		if err != nil {
+			return nil, err
+		}
+		rec := dataset.Record{}
+		t0 := time.Now()
+		for i, t := range anchors {
+			x, err := src.Covariates(t, env.Cfg.Window)
+			if err != nil {
+				return nil, err
+			}
+			rec.Frame, rec.X = t, x
+			preds[i] = strat.Predict(rec)
+		}
+		if wall := float64(time.Since(t0)) / float64(time.Millisecond); wall < best {
+			best = wall
+		}
+	}
+	// Events are sparse; a small sweep can hold no positive anchors, in
+	// which case REC is undefined and reported as -1 (as in PerEventREC).
+	rec := -1.0
+	if hasPositive(labels) {
+		var err error
+		if rec, err = metrics.REC(labels, preds); err != nil {
+			return nil, err
+		}
+	}
+	spl, err := metrics.SPL(labels, preds, env.Cfg.Horizon)
+	if err != nil {
+		return nil, err
+	}
+	frames := len(anchors) * stride
+	return &SpeedPath{
+		Quantized:           quantized,
+		Incremental:         incremental,
+		Anchors:             len(anchors),
+		Frames:              frames,
+		WallMS:              best,
+		MicrosPerPredict:    best * 1000 / float64(len(anchors)),
+		FramesPerSecPerCore: float64(frames) / (best / 1000) / float64(runtime.GOMAXPROCS(0)),
+		REC:                 rec,
+		SPL:                 spl,
+	}, nil
+}
+
+// hasPositive reports whether any (record, event) pair is truly positive.
+func hasPositive(recs []dataset.Record) bool {
+	for _, r := range recs {
+		for _, lab := range r.Label {
+			if lab {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SpeedParityCheck trains the task and runs only the deterministic parity
+// block — what `eventhitbench -exp speedparity` emits for the check.sh
+// byte-identity gate.
+func SpeedParityCheck(taskName string, opt Options, seed int64) (*SpeedParity, error) {
+	task, err := TaskByName(taskName)
+	if err != nil {
+		return nil, err
+	}
+	env, err := NewEnv(task, opt, seed)
+	if err != nil {
+		return nil, err
+	}
+	return speedParity(env)
+}
+
+// speedParity verifies the three fast-path invariants on a trained env and
+// returns the evidence. Any violation is an error: the caller must not
+// publish speed numbers for a path that changes results beyond its bound.
+func speedParity(env *Env) (*SpeedParity, error) {
+	p := &SpeedParity{ProbBound: core.QuantProbTol, RECBound: QuantRECTol}
+
+	// (1) Incremental covariates are bit-identical to recomputation.
+	cs, err := features.NewCachedSource(env.Ex)
+	if err != nil {
+		return nil, err
+	}
+	p.CovariatesIdentical = true
+	start, _ := testRegion(env)
+	if min := env.Cfg.Window - 1; start < min {
+		start = min
+	}
+	for _, t := range []int{start, start + 1, start + env.Cfg.Window, start + 2*env.Cfg.Window, start + 10*env.Cfg.Window} {
+		if t >= env.Stream.N {
+			continue
+		}
+		got, err := cs.Covariates(t, env.Cfg.Window)
+		if err != nil {
+			return nil, err
+		}
+		want, err := env.Ex.Covariates(t, env.Cfg.Window)
+		if err != nil {
+			return nil, err
+		}
+		if !reflect.DeepEqual(got, want) {
+			p.CovariatesIdentical = false
+		}
+	}
+	if !p.CovariatesIdentical {
+		return nil, fmt.Errorf("harness: incremental covariates differ from recomputation")
+	}
+
+	// (2) With quantization off, the incremental pipeline run serializes
+	// byte-identically to the seed path.
+	runPipeline := func(incremental bool) ([]byte, error) {
+		ci := cloud.NewService(env.Stream, cloud.RekognitionPricing(), cloud.DefaultLatency())
+		costs := pipeline.EventHitCosts(env.Cfg.Window)
+		costs.Incremental = incremental
+		m, err := pipeline.New(env.Ex, env.Bundle.EHCR(speedConfidence, speedConfidence), ci, env.Cfg, costs)
+		if err != nil {
+			return nil, err
+		}
+		s, e := testRegion(env)
+		rep, recs, preds, err := m.Run(s, e)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(struct {
+			Rep   pipeline.Report
+			Recs  []dataset.Record
+			Preds []metrics.Prediction
+		}{rep, recs, preds})
+	}
+	plain, err := runPipeline(false)
+	if err != nil {
+		return nil, err
+	}
+	incr, err := runPipeline(true)
+	if err != nil {
+		return nil, err
+	}
+	p.ReportsByteIdentical = string(plain) == string(incr)
+	h := fnv.New64a()
+	h.Write(plain)
+	p.ReportHash = fmt.Sprintf("%016x", h.Sum64())
+	if !p.ReportsByteIdentical {
+		return nil, fmt.Errorf("harness: incremental pipeline report is not byte-identical to the seed path")
+	}
+
+	// (3) The quantized model stays inside its pinned probability bound,
+	// and the resulting REC delta inside QuantRECTol.
+	qm, err := core.Quantize(env.Bundle.Model)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range env.Splits.Test {
+		fo := env.Bundle.Model.Predict(r.X)
+		qo := qm.Predict(r.X)
+		for k := range fo.B {
+			if d := math.Abs(fo.B[k] - qo.B[k]); d > p.MaxProbDelta {
+				p.MaxProbDelta = d
+			}
+			for v := range fo.Theta[k] {
+				if d := math.Abs(fo.Theta[k][v] - qo.Theta[k][v]); d > p.MaxProbDelta {
+					p.MaxProbDelta = d
+				}
+			}
+		}
+	}
+	if p.MaxProbDelta > p.ProbBound {
+		return nil, fmt.Errorf("harness: quantized per-logit delta %.4g exceeds pinned bound %.4g",
+			p.MaxProbDelta, p.ProbBound)
+	}
+	floatEH := env.Bundle.EHCR(speedConfidence, speedConfidence)
+	quantEH, err := floatEH.(strategy.Quantizable).Quantized()
+	if err != nil {
+		return nil, err
+	}
+	p.RECFloat, err = metrics.REC(env.Splits.Test, strategy.PredictAll(floatEH, env.Splits.Test))
+	if err != nil {
+		return nil, err
+	}
+	p.RECQuant, err = metrics.REC(env.Splits.Test, strategy.PredictAll(quantEH, env.Splits.Test))
+	if err != nil {
+		return nil, err
+	}
+	p.RECDelta = p.RECQuant - p.RECFloat
+	if math.Abs(p.RECDelta) > p.RECBound {
+		return nil, fmt.Errorf("harness: quantized REC delta %.4f exceeds pinned bound %.4g",
+			p.RECDelta, p.RECBound)
+	}
+	return p, nil
+}

@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// speedGoldenResult is the hand-built fixture for the BENCH_speed.json
+// schema test; values are fixed so the golden only moves when the schema
+// does. Shared with the generator in testdata.
+func speedGoldenResult() SpeedResult {
+	return SpeedResult{
+		CPUs: 1, GOMAXPROCS: 1,
+		Task: "TA1", Window: 25, Horizon: 500,
+		Stride: 1, Repeats: 3,
+		Paths: []SpeedPath{{
+			Name: "float", Quantized: false, Incremental: false,
+			Anchors: 1500, Frames: 1500,
+			WallMS: 200, MicrosPerPredict: 133.3, FramesPerSecPerCore: 7500,
+			REC: 1, SPL: 0.12,
+		}},
+		SpeedupQuantized:   1.8,
+		SpeedupIncremental: 1.1,
+		SpeedupFast:        2.2,
+		Parity: SpeedParity{
+			CovariatesIdentical:  true,
+			ReportsByteIdentical: true,
+			ReportHash:           "c0156556dfe9b559",
+			MaxProbDelta:         0.0005, ProbBound: 0.02,
+			RECFloat: 1, RECQuant: 1, RECDelta: 0, RECBound: 0.02,
+		},
+	}
+}
+
+// TestSpeedGoldenJSONShape pins the BENCH_speed.json schema: exact field
+// names, order and nesting.
+func TestSpeedGoldenJSONShape(t *testing.T) {
+	got, err := json.MarshalIndent(speedGoldenResult(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "speed_golden.json")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("BENCH_speed.json schema drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestSpeedArtifact holds the committed BENCH_speed.json to the issue's
+// acceptance bar: the combined fast path at >= 2x the seed float path on
+// this box, with every parity invariant intact. Regenerate with
+// `go run ./cmd/eventhitbench -exp speed` if the artifact goes stale.
+func TestSpeedArtifact(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_speed.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var res SpeedResult
+	if err := dec.Decode(&res); err != nil {
+		t.Fatalf("BENCH_speed.json does not match the SpeedResult schema: %v", err)
+	}
+	if len(res.Paths) != 4 {
+		t.Fatalf("artifact has %d paths, want 4", len(res.Paths))
+	}
+	for _, p := range res.Paths {
+		if p.WallMS <= 0 || p.Anchors <= 0 || p.FramesPerSecPerCore <= 0 {
+			t.Fatalf("path %q has degenerate timing: %+v", p.Name, p)
+		}
+	}
+	if res.SpeedupFast < 2 {
+		t.Fatalf("fast path speedup %.2fx below the 2x acceptance bar", res.SpeedupFast)
+	}
+	if res.SpeedupQuantized <= 1 {
+		t.Fatalf("quantized path speedup %.2fx is not a speedup", res.SpeedupQuantized)
+	}
+	par := res.Parity
+	if !par.CovariatesIdentical || !par.ReportsByteIdentical {
+		t.Fatalf("artifact records a parity violation: %+v", par)
+	}
+	if par.MaxProbDelta > par.ProbBound || par.ProbBound <= 0 {
+		t.Fatalf("per-logit delta %.4g outside bound %.4g", par.MaxProbDelta, par.ProbBound)
+	}
+	if math.Abs(par.RECDelta) > par.RECBound || par.RECBound <= 0 {
+		t.Fatalf("REC delta %.4f outside bound %.4g", par.RECDelta, par.RECBound)
+	}
+}
+
+// TestSpeedParityQuick runs the deterministic parity block on a quick
+// training and checks every invariant holds end to end.
+func TestSpeedParityQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	p, err := SpeedParityCheck("TA1", Quick(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.CovariatesIdentical || !p.ReportsByteIdentical {
+		t.Fatalf("parity block = %+v", p)
+	}
+	if p.ReportHash == "" {
+		t.Fatal("parity block carries no report hash")
+	}
+	if p.MaxProbDelta <= 0 || p.MaxProbDelta > p.ProbBound {
+		t.Fatalf("max prob delta %.4g outside (0, %.4g]", p.MaxProbDelta, p.ProbBound)
+	}
+	if math.Abs(p.RECDelta) > p.RECBound {
+		t.Fatalf("REC delta %.4f exceeds bound %.4g", p.RECDelta, p.RECBound)
+	}
+}
+
+// TestSpeedSweepQuick exercises the full sweep on a quick training: four
+// paths over identical anchors, positive timings, and speedup ratios
+// consistent with the per-path wall clocks.
+func TestSpeedSweepQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model and times hot paths")
+	}
+	var buf bytes.Buffer
+	res, err := SpeedSweep("TA1", Quick(), 1, 300, 1, 1, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Paths) != 4 {
+		t.Fatalf("sweep produced %d paths, want 4", len(res.Paths))
+	}
+	names := []string{"float", "incremental", "quantized", "fast"}
+	for i, p := range res.Paths {
+		if p.Name != names[i] {
+			t.Fatalf("path %d named %q, want %q", i, p.Name, names[i])
+		}
+		if p.Anchors != res.Paths[0].Anchors {
+			t.Fatalf("path %q timed %d anchors, float timed %d", p.Name, p.Anchors, res.Paths[0].Anchors)
+		}
+		if p.WallMS <= 0 || p.MicrosPerPredict <= 0 || p.FramesPerSecPerCore <= 0 {
+			t.Fatalf("path %q has degenerate timing: %+v", p.Name, p)
+		}
+	}
+	if got, want := res.SpeedupFast, res.Paths[0].WallMS/res.Paths[3].WallMS; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("speedup_fast_vs_float %.6f inconsistent with wall clocks (%.6f)", got, want)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("sweep rendered no table")
+	}
+}

@@ -18,6 +18,7 @@ type Conv1D struct {
 
 	xs     [][]float64 // cached input sequence
 	padded int         // cached T for Backward
+	y      []float64   // output buffer, reused across Forward calls
 }
 
 // NewConv1D returns a same-padded temporal convolution with Xavier-
@@ -30,6 +31,7 @@ func NewConv1D(name string, in, out, kernel int, g *mathx.RNG) *Conv1D {
 		in: in, out: out, kernel: kernel,
 		w: NewParam(name+".w", out*kernel*in),
 		b: NewParam(name+".b", out),
+		y: make([]float64, out),
 	}
 	XavierInit(c.w.W, in*kernel, out, g)
 	return c
@@ -53,7 +55,8 @@ func (c *Conv1D) at(t, d int) float64 {
 }
 
 // Forward convolves the sequence and mean-pools over time, returning an
-// out-width vector.
+// out-width vector. The returned slice is reused by the next Forward; copy
+// it if it must survive that call.
 func (c *Conv1D) Forward(xs [][]float64) []float64 {
 	if len(xs) == 0 {
 		panic("nn: Conv1D forward on empty sequence")
@@ -66,7 +69,11 @@ func (c *Conv1D) Forward(xs [][]float64) []float64 {
 	c.xs = xs
 	c.padded = len(xs)
 	half := c.kernel / 2
-	y := make([]float64, c.out)
+	y := c.y
+	if y == nil { // models loaded from gob predate the scratch field
+		y = make([]float64, c.out)
+		c.y = y
+	}
 	for o := 0; o < c.out; o++ {
 		var sum float64
 		for t := 0; t < len(xs); t++ {

@@ -1,0 +1,139 @@
+package nn
+
+import "math"
+
+// Fixed-point inference support: the number formats and the interpolated
+// sigmoid/tanh lookup tables shared by QuantLSTM and QuantDense.
+//
+// Formats. Activations (covariate inputs, LSTM hidden/cell state, dense
+// pre-activations and logits) are Q12 fixed point: 1.0 == 1<<ActFracBits.
+// Gate outputs (sigmoid/tanh values, bounded in [-1, 1]) are Q14:
+// 1.0 == 1<<GateFracBits, so a gate fits int16 with headroom and a
+// gate x activation product fits int64 comfortably. Weights are quantized
+// per tensor to int16 with a power-of-two scale chosen from the tensor's
+// max magnitude (see quantWeights), so dequantization is a single rounding
+// shift and the quantization step is at most maxabs/2^14.
+//
+// LUTs. Both tables sample f at 4096+1 points over [-LUTSpan, LUTSpan]
+// (span 16, step 1/128) and evaluate by linear interpolation between
+// adjacent samples, with inputs outside the span clamped to the end
+// samples. The worst-case error against the exact function, over the WHOLE
+// integer input domain, is the sum of three terms:
+//
+//	sample rounding to Q14:            <= 2^-15        ~ 3.05e-5
+//	linear-interpolation curvature:    <= h^2*|f''|/8  ~ 5.9e-6 (tanh, h=1/128)
+//	result rounding to Q14:            <= 2^-15        ~ 3.05e-5
+//	clamp beyond +/-16:                <= 1.2e-7
+//
+// for a total under 7e-5; SigmoidQTol/TanhQTol pin 1e-4 with margin and
+// TestSigmoidLUTExhaustive/TestTanhLUTExhaustive verify every
+// representable input. The float wrappers add an input-quantization term
+// (half a Q12 step times the Lipschitz constant: 0.25*2^-13 for sigmoid,
+// 1*2^-13 for tanh), pinned by SigmoidLUTTol/TanhLUTTol.
+
+const (
+	// ActFracBits is the fractional bit count of fixed-point activations.
+	ActFracBits = 12
+	// ActOne is 1.0 in activation fixed point.
+	ActOne = 1 << ActFracBits
+	// GateFracBits is the fractional bit count of gate (sigmoid/tanh) values.
+	GateFracBits = 14
+	// GateOne is 1.0 in gate fixed point.
+	GateOne = 1 << GateFracBits
+	// LUTSpan is the half-width of the LUT input domain: inputs beyond
+	// +/-LUTSpan clamp to the saturated end samples.
+	LUTSpan = 16
+
+	lutBits = 12
+	lutSize = 1 << lutBits // 4096 intervals, 4097 samples
+	// lutShift converts a Q12 input offset into a table index: the span
+	// covers 2*LUTSpan*ActOne Q12 units across lutSize intervals, i.e.
+	// 32 units per interval.
+	lutShift = 5
+	lutFrac  = 1<<lutShift - 1
+	lutLo    = -LUTSpan * ActOne
+	lutHi    = LUTSpan * ActOne
+)
+
+// Pinned worst-case LUT errors, verified exhaustively by the nn tests.
+const (
+	// SigmoidQTol bounds |DequantGate(SigmoidQ(a)) - Sigmoid(a/ActOne)|
+	// over every int32 input a.
+	SigmoidQTol = 1e-4
+	// TanhQTol is the same bound for TanhQ.
+	TanhQTol = 1e-4
+	// SigmoidLUTTol bounds |SigmoidLUT(x) - Sigmoid(x)| over all float x
+	// (adds the input-quantization term to SigmoidQTol).
+	SigmoidLUTTol = 1.5e-4
+	// TanhLUTTol is the same bound for TanhLUT.
+	TanhLUTTol = 2.5e-4
+)
+
+var sigmoidTab, tanhTab [lutSize + 1]int16
+
+func init() {
+	for i := 0; i <= lutSize; i++ {
+		x := -LUTSpan + float64(i)*(2.0*LUTSpan/lutSize)
+		sigmoidTab[i] = int16(math.RoundToEven(sigmoid64(x) * GateOne))
+		tanhTab[i] = int16(math.RoundToEven(math.Tanh(x) * GateOne))
+	}
+}
+
+// sigmoid64 is the overflow-safe sigmoid (duplicated from mathx to keep the
+// table construction free of package cycles).
+func sigmoid64(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+// lookupQ evaluates one table at the Q12 input a by linear interpolation,
+// returning a Q14 value.
+func lookupQ(tab *[lutSize + 1]int16, a int32) int32 {
+	if a <= lutLo {
+		return int32(tab[0])
+	}
+	if a >= lutHi {
+		return int32(tab[lutSize])
+	}
+	pos := a - lutLo
+	idx := pos >> lutShift
+	frac := pos & lutFrac
+	lo, hi := int32(tab[idx]), int32(tab[idx+1])
+	return (lo*(lutFrac+1-frac) + hi*frac + 1<<(lutShift-1)) >> lutShift
+}
+
+// SigmoidQ returns sigmoid of the Q12 fixed-point input as a Q14 value in
+// [0, GateOne]. Inputs beyond +/-LUTSpan saturate.
+func SigmoidQ(a int32) int32 { return lookupQ(&sigmoidTab, a) }
+
+// TanhQ returns tanh of the Q12 fixed-point input as a Q14 value in
+// [-GateOne, GateOne]. Inputs beyond +/-LUTSpan saturate.
+func TanhQ(a int32) int32 { return lookupQ(&tanhTab, a) }
+
+// QuantAct rounds a float to Q12 activation fixed point.
+func QuantAct(x float64) int32 { return int32(math.RoundToEven(x * ActOne)) }
+
+// DequantAct converts a Q12 activation back to float.
+func DequantAct(a int32) float64 { return float64(a) / ActOne }
+
+// DequantGate converts a Q14 gate value back to float.
+func DequantGate(v int32) float64 { return float64(v) / GateOne }
+
+// SigmoidLUT is the float-in/float-out view of SigmoidQ (quantize, look
+// up, dequantize). Its error against mathx.Sigmoid is bounded by
+// SigmoidLUTTol over the whole real line.
+func SigmoidLUT(x float64) float64 { return DequantGate(SigmoidQ(QuantAct(x))) }
+
+// TanhLUT is the float view of TanhQ, with error against math.Tanh bounded
+// by TanhLUTTol.
+func TanhLUT(x float64) float64 { return DequantGate(TanhQ(QuantAct(x))) }
+
+// roundShift divides by 2^s with round-half-up, the requantization step
+// after an integer dot product.
+func roundShift(v int64, s uint) int32 {
+	return int32((v + 1<<(s-1)) >> s)
+}

@@ -24,6 +24,7 @@ import (
 	"eventhit/internal/cicache"
 	"eventhit/internal/cloud"
 	"eventhit/internal/dataset"
+	"eventhit/internal/features"
 	"eventhit/internal/metrics"
 	"eventhit/internal/obs"
 	"eventhit/internal/resilience"
@@ -68,6 +69,21 @@ type Costs struct {
 	// milliseconds the run already computed — recording them touches no RNG
 	// and no clock, so instrumented and bare runs are byte-identical.
 	Metrics *obs.Registry
+	// Quantized serves predictions from the int16 fixed-point twin of the
+	// strategy's model (LUT sigmoid/tanh, zero-allocation forward). The
+	// strategy must implement strategy.Quantizable (the EventHit variants
+	// do) or New fails. Per-logit probability deltas against the float
+	// path are bounded by core.QuantProbTol; decode thresholds can tip on
+	// records within that band, so reports are near- but not bit-identical.
+	Quantized bool
+	// Incremental caches per-frame covariate extraction in a per-stream
+	// ring (features.CachedSource): advancing the collection window costs
+	// only the new frames instead of a full re-extraction. Feature rows
+	// are counter-based, so the cached windows are bit-identical to
+	// recomputation and the run's report is byte-identical to the
+	// uncached run. The source must expose per-frame extraction
+	// (features.FrameSource) or New fails.
+	Incremental bool
 	// Cache, when non-nil, interposes a content-addressed CI result cache
 	// (internal/cicache) in front of the backend: relays are keyed by a
 	// quantized signature of the covariate window and a hit is served from
@@ -240,6 +256,28 @@ func New(ex dataset.Source, s strategy.Strategy, ci cloud.Backend, cfg dataset.C
 		rcfg = resilience.DefaultConfig(0)
 		rcfg.MaxAttempts = costs.CIRetries + 1
 	}
+	// Fast-path knobs: both swap a component for a faithful faster twin
+	// and fail loudly when the component cannot provide one.
+	src := ex
+	if costs.Incremental {
+		cs, err := features.NewCachedSource(src)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: incremental covariates: %w", err)
+		}
+		src = cs
+	}
+	strat := s
+	if costs.Quantized {
+		q, ok := s.(strategy.Quantizable)
+		if !ok {
+			return nil, fmt.Errorf("pipeline: strategy %s does not support quantized inference", s.Name())
+		}
+		qs, err := q.Quantized()
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: quantized inference: %w", err)
+		}
+		strat = qs
+	}
 	// The cache wraps the backend BELOW the resilient client: a hit is an
 	// instantly successful zero-latency attempt (no billing, no busy time,
 	// the breaker sees a success), a miss retries like any other request.
@@ -264,7 +302,7 @@ func New(ex dataset.Source, s strategy.Strategy, ci cloud.Backend, cfg dataset.C
 			obs.MSBuckets(), obs.Labels{"stage": stage})
 	}
 	return &Marshaller{
-		ex: ex, strat: s, ci: ci, cached: cached,
+		ex: src, strat: strat, ci: ci, cached: cached,
 		res:   resilience.NewClient(backend, rcfg, clock),
 		clock: clock,
 		cfg:   cfg, costs: costs,

@@ -27,6 +27,57 @@ type Bundle struct {
 	// Tau1 and Tau2 are the decoding thresholds of Equations (4)-(5); the
 	// paper fixes both to 0.5.
 	Tau1, Tau2 float64
+	// Predictor, when non-nil, replaces Model for inference (training and
+	// calibration always use Model). WithQuantized installs the int16
+	// fixed-point twin here; anything honoring Model.Predict's contract
+	// works. Not serialized — Save/Load round-trips rebuild views from the
+	// float weights.
+	Predictor Predictor
+}
+
+// Predictor is the inference surface of a model: one covariate window in,
+// per-event probabilities out.
+type Predictor interface {
+	Predict(x [][]float64) core.Output
+}
+
+// intoPredictor is the allocation-free refinement both core model types
+// provide; the strategies use it when available.
+type intoPredictor interface {
+	PredictInto(x [][]float64, out *core.Output)
+}
+
+// frameIntoPredictor is the further refinement of predictors that exploit
+// frame identity: a record's covariate window is the consecutive stream
+// frames ending at the record's frame, which lets the quantized encoder
+// reuse input projections across overlapping windows. Implementations
+// must return outputs identical to PredictInto for any input (the core
+// quant model verifies cached content, so a mismatched window is only a
+// cache miss, never a wrong answer).
+type frameIntoPredictor interface {
+	PredictFrameInto(x [][]float64, frame int, out *core.Output)
+}
+
+// predictor returns the active inference engine.
+func (b *Bundle) predictor() Predictor {
+	if b.Predictor != nil {
+		return b.Predictor
+	}
+	return b.Model
+}
+
+// WithQuantized returns a copy of the bundle whose inference runs on the
+// int16 fixed-point twin of the model (see core.Quantize); calibration
+// state and thresholds are shared. It fails for encoders without a
+// quantized kernel.
+func (b *Bundle) WithQuantized() (*Bundle, error) {
+	q, err := core.Quantize(b.Model)
+	if err != nil {
+		return nil, err
+	}
+	out := *b
+	out.Predictor = q
+	return &out, nil
 }
 
 // Calibrate builds a bundle from a trained model and the two calibration
@@ -119,6 +170,7 @@ type eh struct {
 	confidence            float64 // c, for C-CLASSIFY
 	coverage              float64 // α, for C-REGRESS
 	name                  string
+	scratch               core.Output // reused by predict
 }
 
 // EHO uses only EventHit's output: τ1 for existence, τ2 decoding for the
@@ -164,9 +216,39 @@ func (b *Bundle) EHCRAdaptive(c, alpha float64) Strategy {
 // Name implements Strategy.
 func (s *eh) Name() string { return s.name }
 
+// Quantized implements Quantizable: the same variant, same calibration,
+// served by the fixed-point model twin.
+func (s *eh) Quantized() (Strategy, error) {
+	qb, err := s.b.WithQuantized()
+	if err != nil {
+		return nil, err
+	}
+	out := *s
+	out.b = qb
+	out.scratch = core.Output{} // never share scratch across instances
+	return &out, nil
+}
+
+// predict runs the bundle's active predictor, allocation-free when it
+// supports PredictInto and frame-projection-cached when it supports
+// PredictFrameInto. The returned Output's slices are scratch: valid until
+// the next predict on this strategy instance.
+func (s *eh) predict(rec dataset.Record) core.Output {
+	p := s.b.predictor()
+	if fp, ok := p.(frameIntoPredictor); ok {
+		fp.PredictFrameInto(rec.X, rec.Frame, &s.scratch)
+		return s.scratch
+	}
+	if ip, ok := p.(intoPredictor); ok {
+		ip.PredictInto(rec.X, &s.scratch)
+		return s.scratch
+	}
+	return p.Predict(rec.X)
+}
+
 // Predict implements Strategy.
 func (s *eh) Predict(rec dataset.Record) metrics.Prediction {
-	out := s.b.Model.Predict(rec.X)
+	out := s.predict(rec)
 	k := len(out.B)
 	p := metrics.Prediction{Occur: make([]bool, k), OI: make([]video.Interval, k)}
 	var occ []bool
@@ -200,7 +282,7 @@ func (s *eh) Predict(rec dataset.Record) metrics.Prediction {
 // avoids relaying the dead time between two instances that share a
 // horizon. The per-event slice is nil when the event is predicted absent.
 func (b *Bundle) PredictRuns(rec dataset.Record, confidence float64, mergeGap int) [][]video.Interval {
-	out := b.Model.Predict(rec.X)
+	out := b.predictor().Predict(rec.X)
 	occ := b.Classifier.Predict(out.B, confidence)
 	runs := make([][]video.Interval, len(out.B))
 	for k := range out.B {

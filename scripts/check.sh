@@ -19,6 +19,11 @@
 #   cache      regenerate BENCH_cache.json (the cache epsilon x TTL sweep)
 #              at two parallelism levels, byte-identical to the committed
 #              artifact
+#   speed      the predict fast-path gates: the BENCH_speed.json schema and
+#              acceptance tests, the deterministic parity block regenerated
+#              twice and byte-compared, and a benchstat-style perf gate that
+#              times the float vs combined fast hot path and fails if the
+#              speedup drops below a machine-independent 1.5x floor
 set -eu
 
 echo "== gofmt =="
@@ -72,5 +77,24 @@ go run ./cmd/eventhitfleet -cachesweep -quick -streams 4 -frames 12000 -seed 5 \
     -parallelism 4 -cacheout "$tmpdir/cache_p4.json" >/dev/null
 cmp "$tmpdir/cache_p1.json" "$tmpdir/cache_p4.json"
 cmp "$tmpdir/cache_p1.json" BENCH_cache.json
+
+echo "== predict fast path (schema + artifact + parity byte-identity) =="
+go test ./internal/harness/ -run 'TestSpeedGoldenJSONShape|TestSpeedArtifact|TestSpeedParityQuick' -count=1
+go run ./cmd/eventhitbench -exp speedparity -quick -seed 1 > "$tmpdir/speedparity_a.json"
+go run ./cmd/eventhitbench -exp speedparity -quick -seed 1 > "$tmpdir/speedparity_b.json"
+cmp "$tmpdir/speedparity_a.json" "$tmpdir/speedparity_b.json"
+
+echo "== predict fast path perf gate (fast >= 1.5x float) =="
+go test -run '^$' -bench 'BenchmarkPredictHot(Float|Fast)$' -benchtime 1s -count 2 . \
+    | tee "$tmpdir/bench_speed.txt"
+awk '
+    /^BenchmarkPredictHotFloat/ { v = $3 + 0; if (f == 0 || v < f) f = v }
+    /^BenchmarkPredictHotFast/  { v = $3 + 0; if (q == 0 || v < q) q = v }
+    END {
+        if (f == 0 || q == 0) { print "perf gate: benchmark output missing" > "/dev/stderr"; exit 1 }
+        r = f / q
+        printf "perf gate: float %.0f ns/op vs fast %.0f ns/op -> %.2fx (floor 1.5x)\n", f, q, r
+        if (r < 1.5) { print "perf gate: predict fast path below 1.5x over float" > "/dev/stderr"; exit 1 }
+    }' "$tmpdir/bench_speed.txt"
 
 echo "OK"
