@@ -56,6 +56,30 @@ type FaultPlan struct {
 	FailLatencyMS float64
 }
 
+// Validate rejects plans that cannot be a deterministic fault schedule:
+// probabilities outside [0,1], negative latencies or quota knobs, and
+// malformed outage windows. The zero plan is valid (and inactive).
+func (p FaultPlan) Validate() error {
+	if p.TransientRate < 0 || p.TransientRate > 1 || p.TransientRate != p.TransientRate {
+		return fmt.Errorf("cloud: TransientRate %v outside [0,1]", p.TransientRate)
+	}
+	if p.SpikeRate < 0 || p.SpikeRate > 1 || p.SpikeRate != p.SpikeRate {
+		return fmt.Errorf("cloud: SpikeRate %v outside [0,1]", p.SpikeRate)
+	}
+	if p.SpikeMS < 0 || p.FailLatencyMS < 0 {
+		return fmt.Errorf("cloud: negative fault latency (SpikeMS %v, FailLatencyMS %v)", p.SpikeMS, p.FailLatencyMS)
+	}
+	if p.RateLimitEvery < 0 || p.RateLimitBurst < 0 {
+		return fmt.Errorf("cloud: negative rate-limit knob (every %d, burst %d)", p.RateLimitEvery, p.RateLimitBurst)
+	}
+	for i, w := range p.Outages {
+		if w.Start < 0 || w.End <= w.Start {
+			return fmt.Errorf("cloud: outage %d: need 0 <= Start < End, got [%d,%d)", i, w.Start, w.End)
+		}
+	}
+	return nil
+}
+
 // Active reports whether the plan can inject anything at all. An inactive
 // plan makes the Faulty wrapper a pass-through.
 func (p FaultPlan) Active() bool {

@@ -121,6 +121,11 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate reports whether the policy is well-formed without running it —
+// the pre-flight check spec compilers (internal/scenario) use to surface
+// policy errors before streams are built.
+func (c Config) Validate() error { return c.validate() }
+
 func (c Config) validate() error {
 	if c.BatchMax < 1 {
 		return fmt.Errorf("fleet: BatchMax %d < 1", c.BatchMax)

@@ -56,7 +56,16 @@ func EffectiveParallelism() int {
 // does not depend on scheduling. fn must write its result into an
 // index-slotted structure — cells complete in arbitrary order.
 func forEachCell(n int, fn func(i int) error) error {
-	workers := EffectiveParallelism()
+	return ForEachCellN(n, EffectiveParallelism(), fn)
+}
+
+// ForEachCellN is forEachCell with an explicit worker count, for callers
+// that carry their own parallelism knob instead of the package-level
+// setting (the scenario runner's parallel stage groups). The same contract
+// holds: every cell runs, results must be slotted by index, and the
+// returned error is the lowest-numbered failing cell's — so outcomes are
+// identical at any workers >= 1.
+func ForEachCellN(n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}

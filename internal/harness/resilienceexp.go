@@ -145,14 +145,7 @@ func resilienceCell(env *Env, rate float64, seed int64) (ResiliencePoint, error)
 	if err != nil {
 		return ResiliencePoint{}, err
 	}
-	relays := 0
-	for _, p := range preds {
-		for _, occ := range p.Occur {
-			if occ {
-				relays++
-			}
-		}
-	}
+	relays := pipeline.Relays(preds)
 	return ResiliencePoint{
 		FaultRate:      rate,
 		REC:            rec,

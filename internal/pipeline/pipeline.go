@@ -173,6 +173,22 @@ type Report struct {
 	CacheSavedUSD    float64
 }
 
+// Relays counts the positive occurrence bits across a run's predictions —
+// the number of relay requests the strategy released (served or not). The
+// shared definition behind the harness sweeps' and scenario reports' relay
+// columns.
+func Relays(preds []metrics.Prediction) int {
+	n := 0
+	for _, p := range preds {
+		for _, occ := range p.Occur {
+			if occ {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // TotalMS returns the simulated end-to-end processing time.
 func (r Report) TotalMS() float64 { return r.ScanMS + r.PredictMS + r.CIMS }
 

@@ -1,0 +1,20 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// MarshalReport renders a report in the repo's canonical artifact form —
+// two-space indented JSON with a trailing newline, the same bytes
+// cmd/eventhitscenario writes with -out. Golden comparisons are against
+// exactly these bytes.
+func MarshalReport(r *Report) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

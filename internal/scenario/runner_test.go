@@ -1,0 +1,416 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// -update-schema rewrites the report schema golden from the shape test's
+// hand-built report (corpus goldens regenerate via the binary instead:
+// eventhitscenario -corpus -regen).
+var updateSchema = flag.Bool("update-schema", false, "rewrite testdata/report_schema.golden.json")
+
+// TestCorpusGoldens is the regression gate: every committed scenario runs at
+// Parallelism 1 and 4 against one shared trained environment, must produce
+// byte-identical reports at both levels, and must match the committed golden
+// exactly. Skipped under -short (it trains one quick env per scenario).
+func TestCorpusGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole scenario corpus")
+	}
+	entries, err := Corpus()
+	if err != nil {
+		t.Fatalf("Corpus: %v", err)
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			env, err := EnvFor(e.Spec)
+			if err != nil {
+				t.Fatalf("EnvFor: %v", err)
+			}
+			serial, err := RunWithEnv(e.Spec, env, 1)
+			if err != nil {
+				t.Fatalf("RunWithEnv(par=1): %v", err)
+			}
+			got, err := MarshalReport(serial)
+			if err != nil {
+				t.Fatalf("MarshalReport: %v", err)
+			}
+			par, err := RunWithEnv(e.Spec, env, 4)
+			if err != nil {
+				t.Fatalf("RunWithEnv(par=4): %v", err)
+			}
+			gotPar, err := MarshalReport(par)
+			if err != nil {
+				t.Fatalf("MarshalReport: %v", err)
+			}
+			if !bytes.Equal(got, gotPar) {
+				t.Fatalf("report differs between Parallelism 1 and 4:\n--- par=1\n%s\n--- par=4\n%s", got, gotPar)
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", e.Name+".golden.json"))
+			if err != nil {
+				t.Fatalf("read golden: %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("golden drifted for %s; if the change is intended, regenerate with:\n  go run ./cmd/eventhitscenario -corpus -regen\ngot:\n%s\nwant:\n%s",
+					e.Name, got, want)
+			}
+			// The binary ships the same goldens embedded; a regen that is
+			// not rebuilt into cmd/eventhitscenario would silently gate on
+			// stale bytes.
+			embedded, err := Golden(e.Name)
+			if err != nil {
+				t.Fatalf("embedded golden: %v", err)
+			}
+			if !bytes.Equal(embedded, want) {
+				t.Fatalf("embedded golden for %s differs from testdata file (rebuild after -regen?)", e.Name)
+			}
+		})
+	}
+}
+
+// TestDriftShiftDetection is the end-to-end drift satellite: the
+// camera-drift scenario induces a detector shift at frame 20000 mid-run and
+// the monitor's detection frame must land after the shift, identically at
+// any parallelism.
+func TestDriftShiftDetection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a quick env")
+	}
+	entries, err := Corpus()
+	if err != nil {
+		t.Fatalf("Corpus: %v", err)
+	}
+	var spec *Spec
+	for _, e := range entries {
+		if e.Name == "camera-drift" {
+			spec = e.Spec
+		}
+	}
+	if spec == nil {
+		t.Fatal("camera-drift scenario missing from corpus")
+	}
+	// Run only the monitor stage: same spec, trimmed program.
+	trimmed := *spec
+	trimmed.Stages = nil
+	for _, st := range spec.Stages {
+		if st.Run != nil && st.Run.Kind == KindDrift {
+			trimmed.Stages = append(trimmed.Stages, st)
+		}
+	}
+	if len(trimmed.Stages) != 1 {
+		t.Fatalf("camera-drift should declare exactly one drift stage, got %d", len(trimmed.Stages))
+	}
+	env, err := EnvFor(&trimmed)
+	if err != nil {
+		t.Fatalf("EnvFor: %v", err)
+	}
+	var outs []*DriftOut
+	for _, par := range []int{1, 3} {
+		rep, err := RunWithEnv(&trimmed, env, par)
+		if err != nil {
+			t.Fatalf("RunWithEnv(par=%d): %v", par, err)
+		}
+		d := rep.Stages[0].Tasks[0].Drift
+		if d == nil {
+			t.Fatalf("par=%d: drift task produced no drift outcome", par)
+		}
+		outs = append(outs, d)
+	}
+	if !reflect.DeepEqual(outs[0], outs[1]) {
+		t.Fatalf("drift outcome differs across parallelism:\npar=1: %+v\npar=3: %+v", outs[0], outs[1])
+	}
+	d := outs[0]
+	if !d.AlarmRaised {
+		t.Fatalf("monitor never raised on a 90%%-miss detector shift: %+v", d)
+	}
+	if d.SwitchFrame != 20000 {
+		t.Errorf("SwitchFrame = %d, want 20000 (from the spec's drift schedule)", d.SwitchFrame)
+	}
+	if d.DetectFrame < d.SwitchFrame {
+		t.Errorf("DetectFrame %d precedes the shift at %d", d.DetectFrame, d.SwitchFrame)
+	}
+	if d.OutcomesToAlarm <= 0 || d.OutcomesToAlarm > d.Positives {
+		t.Errorf("OutcomesToAlarm = %d, want in (0, %d]", d.OutcomesToAlarm, d.Positives)
+	}
+	if d.CoveragePost >= d.CoveragePre {
+		t.Errorf("post-shift coverage %v did not drop below pre-shift %v", d.CoveragePost, d.CoveragePre)
+	}
+}
+
+// loadGoldenReports decodes every committed golden from disk (not the
+// embedded copies), keyed by scenario name. The invariants below read these
+// instead of re-running anything: the goldens ARE the record of what the
+// pinned runs did, so structural claims about them hold in -short mode too.
+func loadGoldenReports(t *testing.T) map[string]*Report {
+	t.Helper()
+	entries, err := Corpus()
+	if err != nil {
+		t.Fatalf("Corpus: %v", err)
+	}
+	out := map[string]*Report{}
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join("testdata", e.Name+".golden.json"))
+		if err != nil {
+			t.Fatalf("read golden: %v", err)
+		}
+		var rep Report
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			t.Fatalf("golden %s does not decode as a Report: %v", e.Name, err)
+		}
+		out[e.Name] = &rep
+	}
+	return out
+}
+
+// fleetOuts collects a report's fleet-task outcomes keyed by
+// "<stage>/<task>".
+func fleetOuts(rep *Report) map[string]*FleetOut {
+	out := map[string]*FleetOut{}
+	for _, st := range rep.Stages {
+		for _, task := range st.Tasks {
+			if task.Fleet != nil {
+				out[st.Name+"/"+task.Name] = task.Fleet
+			}
+		}
+	}
+	return out
+}
+
+func pipelineOuts(rep *Report) map[string]*PipelineOut {
+	out := map[string]*PipelineOut{}
+	for _, st := range rep.Stages {
+		for _, task := range st.Tasks {
+			if task.Pipeline != nil {
+				out[st.Name+"/"+task.Name] = task.Pipeline
+			}
+		}
+	}
+	return out
+}
+
+// TestCorpusInvariants checks the paper's accounting identities on the
+// committed goldens: relay partitioning, budget never overshot, deferred
+// relays accounted against realized recall, and the epsilon=0 cache leaving
+// recall untouched while halving the twin workload's frame bill.
+func TestCorpusInvariants(t *testing.T) {
+	reports := loadGoldenReports(t)
+	entries, _ := Corpus()
+	specs := map[string]*Spec{}
+	for _, e := range entries {
+		specs[e.Name] = e.Spec
+	}
+
+	for name, rep := range reports {
+		spec := specs[name]
+		if rep.Name != name || rep.Task != spec.Task || rep.Seed != spec.Seed {
+			t.Errorf("%s: golden header %s/%s/%d does not match its spec", name, rep.Name, rep.Task, rep.Seed)
+		}
+		if len(rep.Cameras) == 0 {
+			t.Errorf("%s: no cameras recorded", name)
+		}
+		if len(rep.Stages) != len(spec.Stages) {
+			t.Errorf("%s: %d stages recorded, spec declares %d", name, len(rep.Stages), len(spec.Stages))
+			continue
+		}
+		for i, st := range rep.Stages {
+			if want := len(spec.Stages[i].Tasks()); len(st.Tasks) != want {
+				t.Errorf("%s/%s: %d task outcomes, spec declares %d", name, st.Name, len(st.Tasks), want)
+			}
+		}
+		for key, f := range fleetOuts(rep) {
+			relays := 0
+			for _, s := range f.Streams {
+				relays += s.Relays
+				if s.Served+s.Deferred+s.Shed != s.Relays {
+					t.Errorf("%s %s stream %s: served %d + deferred %d + shed %d != relays %d",
+						name, key, s.ID, s.Served, s.Deferred, s.Shed, s.Relays)
+				}
+				if s.RealizedREC > s.REC+1e-9 {
+					t.Errorf("%s %s stream %s: realized REC %v exceeds oracle REC %v",
+						name, key, s.ID, s.RealizedREC, s.REC)
+				}
+			}
+			if f.Served+f.Deferred+f.Shed != relays {
+				t.Errorf("%s %s: fleet totals %d+%d+%d do not partition %d relays",
+					name, key, f.Served, f.Deferred, f.Shed, relays)
+			}
+			if f.BudgetUSD > 0 && f.TotalSpentUSD > f.BudgetUSD+1e-9 {
+				t.Errorf("%s %s: spent %v overshoots budget %v", name, key, f.TotalSpentUSD, f.BudgetUSD)
+			}
+			if f.MeanRealizedREC > f.MeanREC+1e-9 {
+				t.Errorf("%s %s: mean realized REC %v exceeds mean REC %v",
+					name, key, f.MeanRealizedREC, f.MeanREC)
+			}
+		}
+		for key, p := range pipelineOuts(rep) {
+			if p.RealizedREC > p.REC+1e-9 {
+				t.Errorf("%s %s: realized REC %v exceeds REC %v", name, key, p.RealizedREC, p.REC)
+			}
+			if p.Deferred > p.Relays {
+				t.Errorf("%s %s: %d deferred out of %d relays", name, key, p.Deferred, p.Relays)
+			}
+		}
+	}
+
+	t.Run("sports-burst-sheds", func(t *testing.T) {
+		f := fleetOuts(reports["sports-burst"])["marshal/fleet"]
+		if f == nil {
+			t.Fatal("sports-burst golden lacks marshal/fleet outcome")
+		}
+		if f.Shed == 0 {
+			t.Error("burst scenario shed nothing; the small queue regime is gone")
+		}
+	})
+
+	t.Run("cache-epsilon-zero", func(t *testing.T) {
+		outs := fleetOuts(reports["retail-flash-crowd"])
+		base, cached := outs["compare/baseline"], outs["compare/cached"]
+		if base == nil || cached == nil {
+			t.Fatal("retail-flash-crowd golden lacks compare/baseline or compare/cached")
+		}
+		if base.CacheHits != 0 {
+			t.Errorf("uncached baseline recorded %d cache hits", base.CacheHits)
+		}
+		if cached.CacheHits == 0 {
+			t.Error("cached run over scene twins recorded no hits")
+		}
+		if cached.CacheBadHits != 0 {
+			t.Errorf("epsilon=0 cache recorded %d bad hits; exact matching must never lie", cached.CacheBadHits)
+		}
+		if cached.MeanRealizedREC != base.MeanRealizedREC {
+			t.Errorf("epsilon=0 cache moved realized recall: %v vs baseline %v",
+				cached.MeanRealizedREC, base.MeanRealizedREC)
+		}
+		if cached.TotalFrames+cached.CacheSavedFrames != base.TotalFrames {
+			t.Errorf("cache savings unaccounted: %d billed + %d saved != baseline %d billed",
+				cached.TotalFrames, cached.CacheSavedFrames, base.TotalFrames)
+		}
+	})
+
+	t.Run("brownout-degradation", func(t *testing.T) {
+		outs := pipelineOuts(reports["brownout"])
+		clean, degraded := outs["compare/clean"], outs["compare/degraded"]
+		if clean == nil || degraded == nil {
+			t.Fatal("brownout golden lacks compare/clean or compare/degraded")
+		}
+		if clean.Faulted || !degraded.Faulted {
+			t.Errorf("fault flags wrong: clean=%v degraded=%v", clean.Faulted, degraded.Faulted)
+		}
+		if clean.Deferred != 0 || clean.FailedAttempts != 0 {
+			t.Errorf("clean run recorded failures: deferred %d, failed %d", clean.Deferred, clean.FailedAttempts)
+		}
+		if degraded.FailedAttempts == 0 {
+			t.Error("degraded run saw no failed CI attempts under a 25% transient rate")
+		}
+		if degraded.Deferred == 0 {
+			t.Error("degraded run deferred nothing; the brownout regime is gone")
+		}
+		if degraded.RealizedREC >= clean.RealizedREC {
+			t.Errorf("brownout did not cost recall: degraded %v vs clean %v",
+				degraded.RealizedREC, clean.RealizedREC)
+		}
+	})
+
+	t.Run("budget-cliff", func(t *testing.T) {
+		outs := fleetOuts(reports["budget-cliff"])
+		ample, cliff := outs["compare/ample"], outs["compare/cliff"]
+		if ample == nil || cliff == nil {
+			t.Fatal("budget-cliff golden lacks compare/ample or compare/cliff")
+		}
+		if ample.Deferred != 0 || ample.Shed != 0 {
+			t.Errorf("ample budget still deferred %d / shed %d", ample.Deferred, ample.Shed)
+		}
+		if cliff.Deferred == 0 {
+			t.Error("cliff budget deferred nothing; the cliff regime is gone")
+		}
+		if cliff.TotalSpentUSD > cliff.BudgetUSD {
+			t.Errorf("cliff overshot: spent %v > cap %v", cliff.TotalSpentUSD, cliff.BudgetUSD)
+		}
+	})
+
+	t.Run("camera-drift-alarm", func(t *testing.T) {
+		rep := reports["camera-drift"]
+		var d *DriftOut
+		for _, st := range rep.Stages {
+			for _, task := range st.Tasks {
+				if task.Drift != nil {
+					d = task.Drift
+				}
+			}
+		}
+		if d == nil {
+			t.Fatal("camera-drift golden lacks a drift outcome")
+		}
+		if !d.AlarmRaised || d.DetectFrame < d.SwitchFrame {
+			t.Errorf("pinned alarm wrong: raised=%v detect=%d switch=%d", d.AlarmRaised, d.DetectFrame, d.SwitchFrame)
+		}
+		if d.CoveragePost >= d.CoveragePre {
+			t.Errorf("pinned coverage did not drop: pre %v post %v", d.CoveragePre, d.CoveragePost)
+		}
+	})
+}
+
+// TestScenarioReportShape pins the report schema itself: a hand-built
+// report covering all three task outcomes must marshal to the committed
+// schema golden, so renaming or retyping a field is a reviewed diff even
+// when no corpus golden happens to exercise it.
+func TestScenarioReportShape(t *testing.T) {
+	q := 8
+	rep := &Report{
+		Name: "shape", Task: "TA1", Seed: 7, Quick: true, Frames: 1000,
+		Confidence: 0.9, Coverage: 0.9,
+		Cameras: []CameraOut{
+			{ID: "cam-00", Scene: 0, Seed: 1001, Arrivals: "poisson"},
+			{ID: "cam-01", Scene: 0, Seed: 1001, Arrivals: "poisson", SurgeAt: 500, DriftAt: 400},
+		},
+		Stages: []StageOut{
+			{Name: "marshal", Parallel: true, Tasks: []TaskOut{
+				{Name: "fleet", Kind: KindFleet, Fleet: &FleetOut{
+					MeanREC: 0.9, MeanRealizedREC: 0.85,
+				}},
+				{Name: "solo", Kind: KindPipeline, Pipeline: &PipelineOut{
+					Stream: "cam-00", Faulted: true, REC: 0.9, RealizedREC: 0.8,
+					Relays: 10, Deferred: 2, Retried: 1, FailedAttempts: 3,
+					BreakerTrips: 1, SpentUSD: 1.5, CIMS: 1234.5,
+				}},
+			}},
+			{Name: "watch", Tasks: []TaskOut{
+				{Name: "monitor", Kind: KindDrift, Drift: &DriftOut{
+					Stream: "cam-01", SwitchFrame: 400, MonitorWindow: 40,
+					MonitorDelta: 0.05, Anchors: 20, Positives: 5, AlarmRaised: true,
+					DetectFrame: 700, OutcomesToAlarm: 4, CoveragePre: 0.9, CoveragePost: 0.4,
+				}},
+			}},
+		},
+	}
+	rep.Stages[0].Tasks[0].Fleet.Served = 9
+	rep.Stages[0].Tasks[0].Fleet.Deferred = 1
+	rep.Stages[0].Tasks[0].Fleet.BudgetUSD = 2
+	rep.Stages[0].Tasks[0].Fleet.TotalSpentUSD = 1.25
+	rep.Stages[0].Tasks[0].Fleet.MaxQueueDepth = q
+
+	got, err := MarshalReport(rep)
+	if err != nil {
+		t.Fatalf("MarshalReport: %v", err)
+	}
+	goldenPath := filepath.Join("testdata", "report_schema.golden.json")
+	if *updateSchema {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatalf("write schema golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read schema golden: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("report schema drifted; review the diff and update %s:\ngot:\n%s\nwant:\n%s", goldenPath, got, want)
+	}
+}

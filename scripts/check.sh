@@ -7,15 +7,24 @@
 #   race tests the whole suite under the race detector
 #   scrape     the /metrics + /v1/stats consistency tests under -race:
 #              concurrent scrapes while predicts relay to the CI
-#   fuzz seeds the checked-in fuzz corpus (testdata/fuzz/) executed as
+#   fuzz seeds the checked-in fuzz corpora (testdata/fuzz/) executed as
 #              ordinary tests, no fuzzing engine; use
-#              `go test ./internal/serve/ -fuzz FuzzFrames` to explore
+#              `go test ./internal/serve/ -fuzz FuzzFrames` or
+#              `go test ./internal/scenario/ -fuzz FuzzScenarioParse` to
+#              explore
 #   fleet      the scheduler's concurrent-admission + starvation tests under
 #              -race, then regenerate BENCH_fleet.json at two parallelism
 #              levels and require all three byte-identical: the committed
 #              report is provably reproducible on this machine
 #   shuffle    the whole suite once more with randomized test order: no
-#              test may depend on a sibling having run first
+#              test may depend on a sibling having run first (this pass
+#              includes the scenario corpus goldens: every committed
+#              regime re-runs at parallelism 1 and 4 and must match its
+#              pinned report byte-for-byte)
+#   scenario   the corpus golden gate through the shipped binary: the
+#              embedded corpus re-runs and byte-compares against the
+#              embedded goldens, failing with a regeneration hint
+#              (eventhitscenario -corpus -regen) on drift
 #   cache      regenerate BENCH_cache.json (the cache epsilon x TTL sweep)
 #              at two parallelism levels, byte-identical to the committed
 #              artifact
@@ -52,6 +61,7 @@ go test -race ./internal/obs/ -run 'TestConcurrentUpdatesAndScrapes' -count=1
 
 echo "== fuzz seed corpus (run mode) =="
 go test ./internal/serve/ -run 'Fuzz' -count=1
+go test ./internal/scenario/ -run 'Fuzz|TestFuzzSeedCorpus' -count=1
 
 echo "== fleet scheduler (race + golden schema) =="
 go test -race ./internal/fleet/ -count=1
@@ -77,6 +87,9 @@ go run ./cmd/eventhitfleet -cachesweep -quick -streams 4 -frames 12000 -seed 5 \
     -parallelism 4 -cacheout "$tmpdir/cache_p4.json" >/dev/null
 cmp "$tmpdir/cache_p1.json" "$tmpdir/cache_p4.json"
 cmp "$tmpdir/cache_p1.json" BENCH_cache.json
+
+echo "== scenario corpus golden gate (via the shipped binary) =="
+go run ./cmd/eventhitscenario -corpus
 
 echo "== predict fast path (schema + artifact + parity byte-identity) =="
 go test ./internal/harness/ -run 'TestSpeedGoldenJSONShape|TestSpeedArtifact|TestSpeedParityQuick' -count=1
