@@ -51,6 +51,9 @@ func main() {
 		budget      = flag.Float64("budget", 0, "global CI spend cap in USD across all sessions (0 = no fleet arbiter)")
 		streamRate  = flag.Float64("streamrate", 0, "per-session CI admission rate, billed frames/sec (0 = unmetered)")
 		streamBurst = flag.Float64("streamburst", 0, "per-session burst headroom in billed frames (0 = one second of -streamrate)")
+		adaptOn     = flag.Bool("adapt", false, "per-session drift monitoring + automatic recalibration swaps (server-owned relay)")
+		auditRate   = flag.Float64("auditrate", 0.1, "fraction of skipped horizons ground-truthed by audit relays (with -adapt)")
+		quantized   = flag.Bool("quantized", false, "serve through the int16 quantized twin (built at boot and at every swap)")
 		drain       = flag.Duration("drain", 10*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
@@ -108,6 +111,7 @@ func main() {
 		DefaultConfidence: *confidence,
 		DefaultCoverage:   *coverage,
 		EnablePprof:       *pprofOn,
+		Quantized:         *quantized,
 	}
 	if *cacheOn {
 		// The cache interposes on the server-owned relay, which needs the
@@ -126,6 +130,27 @@ func main() {
 		scfg.Cache = &cc
 		log.Printf("CI result cache on: epsilon %g, TTL %d frames (server-owned relay to a simulated CI)",
 			cc.Epsilon, cc.TTLFrames)
+	}
+	if *adaptOn {
+		// The adaptation loop needs ground-truth labels, which come back
+		// from the server-owned relay to the simulated CI — and that needs
+		// the generated stream, so this mode only exists with on-the-fly
+		// training (same constraint as -cache).
+		if stream == nil {
+			fatal(fmt.Errorf("-adapt requires on-the-fly training (omit -bundle): the simulated CI backend needs the generated stream"))
+		}
+		if *auditRate < 0 || *auditRate > 1 {
+			fatal(fmt.Errorf("-auditrate must be in [0,1], got %v", *auditRate))
+		}
+		if scfg.CI == nil {
+			scfg.CI = cloud.NewService(stream, cloud.RekognitionPricing(), cloud.DefaultLatency())
+			scfg.CIEvents = t.EventIdx
+		}
+		ac := serve.DefaultAdaptConfig()
+		ac.AuditRate = *auditRate
+		scfg.Adapt = &ac
+		log.Printf("online adaptation on: monitor window %d at delta %g, %d post-alarm outcomes before recalibrating, audit rate %g",
+			ac.MonitorWindow, ac.MonitorDelta, ac.MinFresh, ac.AuditRate)
 	}
 	if *budget > 0 || *streamRate > 0 {
 		burst := *streamBurst

@@ -29,7 +29,8 @@ type Monitor struct {
 	head     int
 	filled   int
 	misses   int
-	alarms   int
+	episodes int // lifetime alarm episodes (edge-triggered)
+	alarming bool
 	observed int
 }
 
@@ -51,8 +52,17 @@ func NewMonitor(c float64, n int, delta float64) (*Monitor, error) {
 
 // Observe records one realized outcome — covered reports whether the
 // conformal layer kept the true event (or the true boundary fell inside
-// the relayed interval). It returns true when the window's miss rate is
-// now significantly above the nominal 1-c.
+// the relayed interval). It returns true while the window's miss rate is
+// significantly above the nominal 1-c ("currently alarming", a level, not
+// an edge: a sustained shift keeps returning true on every observation).
+//
+// Alarm *episodes* are accounted edge-triggered: the lifetime counter
+// reported by Stats and Episodes increments once when the window first
+// crosses the threshold, and the episode ends when the window drops back
+// below it or on Reset. One sustained shift is one episode, no matter how
+// many observations it spans — so an operator (or the serve adaptation
+// loop) can key recalibration off distinct episodes instead of being
+// retriggered every frame.
 func (m *Monitor) Observe(covered bool) bool {
 	if m.filled == m.window {
 		if !m.outcomes[m.head] {
@@ -67,11 +77,12 @@ func (m *Monitor) Observe(covered bool) bool {
 	}
 	m.head = (m.head + 1) % m.window
 	m.observed++
-	if m.Alarming() {
-		m.alarms++
-		return true
+	now := m.Alarming()
+	if now && !m.alarming {
+		m.episodes++
 	}
-	return false
+	m.alarming = now
+	return now
 }
 
 // MissRate returns the current window's empirical miss rate.
@@ -83,18 +94,25 @@ func (m *Monitor) MissRate() float64 {
 }
 
 // Threshold returns the alarm line: nominal miss rate plus the Hoeffding
-// slack sqrt(ln(1/delta)/(2n)) for the currently filled window.
+// slack sqrt(ln(1/delta)/(2n)) for the currently filled window. An empty
+// window (fresh monitor, or right after Reset) reports the slack for the
+// *configured* window size — the line the monitor will actually alarm
+// against once it fills — rather than a misleading 0-observation (n=1)
+// slack that would make a stats readout look like the monitor demands a
+// near-total collapse.
 func (m *Monitor) Threshold() float64 {
 	n := m.filled
 	if n == 0 {
-		n = 1
+		n = m.window
 	}
 	return (1 - m.target) + math.Sqrt(math.Log(1/m.delta)/(2*float64(n)))
 }
 
 // Alarming reports whether the window currently violates coverage. It
 // requires at least half the window to be filled so early noise cannot
-// trip it.
+// trip it — which also means the monitor is blind for the first window/2
+// observations after construction or Reset: no alarm can fire during that
+// refill period regardless of the outcomes observed.
 func (m *Monitor) Alarming() bool {
 	if m.filled < m.window/2 {
 		return false
@@ -102,10 +120,28 @@ func (m *Monitor) Alarming() bool {
 	return m.MissRate() > m.Threshold()
 }
 
-// Reset clears the window (call after recalibrating).
+// Reset clears the window and ends any in-progress alarm episode (call
+// after recalibrating: the fresh calibration invalidates outcomes measured
+// against the old one). The lifetime observed/episode counters are kept —
+// they are the monitor's history, not its state. After Reset the monitor
+// re-enters its blind period: Alarming stays false until the window is at
+// least half filled again (see Alarming).
 func (m *Monitor) Reset() {
 	m.head, m.filled, m.misses = 0, 0, 0
+	m.alarming = false
 }
 
-// Stats reports lifetime counters: outcomes observed and alarms raised.
-func (m *Monitor) Stats() (observed, alarms int) { return m.observed, m.alarms }
+// Stats reports lifetime counters: outcomes observed and alarm episodes
+// raised (edge-triggered — see Observe).
+func (m *Monitor) Stats() (observed, episodes int) { return m.observed, m.episodes }
+
+// Episodes returns the lifetime count of distinct alarm episodes.
+func (m *Monitor) Episodes() int { return m.episodes }
+
+// InEpisode reports whether an alarm episode is currently open — the
+// window crossed the threshold and has not yet dropped back below it (or
+// been Reset).
+func (m *Monitor) InEpisode() bool { return m.alarming }
+
+// Window returns the configured sliding-window size.
+func (m *Monitor) Window() int { return m.window }

@@ -1,6 +1,7 @@
 package drift
 
 import (
+	"errors"
 	"testing"
 
 	"eventhit/internal/conformal"
@@ -115,6 +116,166 @@ func TestMonitorSlidingEviction(t *testing.T) {
 	}
 }
 
+// TestAlarmEpisodesEdgeTriggered is the regression test for the alarm
+// storm: Observe used to increment the lifetime alarm counter on every
+// observation while the window stayed above threshold, so one sustained
+// shift reported thousands of alarms. Episodes must be edge-triggered.
+func TestAlarmEpisodesEdgeTriggered(t *testing.T) {
+	cases := []struct {
+		name string
+		// outcomes fed in order; r = Reset marker
+		feed         []string // "miss", "cover", "reset"
+		wantEpisodes int
+	}{
+		{
+			name:         "one sustained shift is one episode",
+			feed:         append(rep("cover", 100), rep("miss", 200)...),
+			wantEpisodes: 1,
+		},
+		{
+			name:         "no violation no episode",
+			feed:         rep("cover", 300),
+			wantEpisodes: 0,
+		},
+		{
+			name: "recovery closes the episode, relapse opens a second",
+			feed: concat(
+				rep("cover", 100), // fill clean
+				rep("miss", 60),   // cross the line: episode 1
+				rep("cover", 150), // window drains below the line
+				rep("miss", 60),   // cross again: episode 2
+			),
+			wantEpisodes: 2,
+		},
+		{
+			name: "reset ends the episode; refill without violation stays at one",
+			feed: concat(
+				rep("cover", 100),
+				rep("miss", 60), // episode 1
+				[]string{"reset"},
+				rep("cover", 200), // clean refill: no new episode
+			),
+			wantEpisodes: 1,
+		},
+		{
+			name: "reset then a second collapse counts two",
+			feed: concat(
+				rep("cover", 100),
+				rep("miss", 60), // episode 1
+				[]string{"reset"},
+				rep("cover", 100),
+				rep("miss", 60), // episode 2
+			),
+			wantEpisodes: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := NewMonitor(0.9, 100, 0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range tc.feed {
+				switch f {
+				case "miss":
+					m.Observe(false)
+				case "cover":
+					m.Observe(true)
+				case "reset":
+					m.Reset()
+				}
+			}
+			if got := m.Episodes(); got != tc.wantEpisodes {
+				t.Fatalf("episodes = %d, want %d", got, tc.wantEpisodes)
+			}
+			if _, eps := m.Stats(); eps != tc.wantEpisodes {
+				t.Fatalf("Stats episodes = %d, want %d", eps, tc.wantEpisodes)
+			}
+		})
+	}
+}
+
+func rep(s string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = s
+	}
+	return out
+}
+
+func concat(parts ...[]string) []string {
+	var out []string
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// TestObserveReturnsLevelNotEdge: the boolean return stays "currently
+// alarming" — it keeps returning true for every observation of a sustained
+// shift even though only one episode is counted.
+func TestObserveReturnsLevelNotEdge(t *testing.T) {
+	m, _ := NewMonitor(0.9, 100, 0.05)
+	for i := 0; i < 100; i++ {
+		m.Observe(true)
+	}
+	trues := 0
+	for i := 0; i < 50; i++ {
+		if m.Observe(false) {
+			trues++
+		}
+	}
+	if trues < 2 {
+		t.Fatalf("sustained shift returned true only %d times; Observe must report the level", trues)
+	}
+	if m.Episodes() != 1 {
+		t.Fatalf("episodes = %d, want 1", m.Episodes())
+	}
+	if !m.InEpisode() {
+		t.Fatal("InEpisode false mid-shift")
+	}
+}
+
+// TestThresholdEmptyWindowUsesConfigured: a fresh or just-Reset monitor
+// must report the alarm line for its configured window, not a misleading
+// n=1 slack.
+func TestThresholdEmptyWindowUsesConfigured(t *testing.T) {
+	m, _ := NewMonitor(0.9, 100, 0.05)
+	empty := m.Threshold()
+	for i := 0; i < 100; i++ {
+		m.Observe(true)
+	}
+	full := m.Threshold()
+	if empty != full {
+		t.Fatalf("empty-window threshold %v != full-window threshold %v", empty, full)
+	}
+	m.Reset()
+	if got := m.Threshold(); got != full {
+		t.Fatalf("post-Reset threshold %v != configured-window threshold %v", got, full)
+	}
+	if m.Window() != 100 {
+		t.Fatalf("Window() = %d", m.Window())
+	}
+}
+
+// TestResetBlindPeriod: after Reset no alarm can fire until the window is
+// half filled again, even on an all-miss stream.
+func TestResetBlindPeriod(t *testing.T) {
+	m, _ := NewMonitor(0.9, 100, 0.05)
+	for i := 0; i < 100; i++ {
+		m.Observe(false)
+	}
+	m.Reset()
+	for i := 0; i < 49; i++ {
+		if m.Observe(false) {
+			t.Fatalf("alarm during blind period at observation %d", i)
+		}
+	}
+	if !m.Observe(false) {
+		t.Fatal("all-miss stream must alarm once the blind period ends")
+	}
+}
+
 func TestRecalibratorValidation(t *testing.T) {
 	if _, err := NewRecalibrator(5, 1); err == nil {
 		t.Fatal("expected error for tiny buffer")
@@ -167,6 +328,59 @@ func TestRecalibratorDoesNotAliasInput(t *testing.T) {
 	}
 	if p := c.PValue(0, 0.7); p != 1.0/2 {
 		t.Fatalf("buffer aliased caller slices: p=%v", p)
+	}
+}
+
+// TestRebuildRecentInsufficientPositives: a rebuild window with no
+// positive for some event fails with the typed retryable error, and the
+// retry path (buffer more, rebuild again) succeeds once a positive lands.
+func TestRebuildRecentInsufficientPositives(t *testing.T) {
+	r, _ := NewRecalibrator(50, 2)
+	// Event 1 gets positives, event 0 never does.
+	for i := 0; i < 20; i++ {
+		if err := r.Add([]float64{0.2, 0.8}, []bool{false, true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := r.RebuildRecent(20)
+	if err == nil {
+		t.Fatal("expected insufficient-positives error")
+	}
+	if !errors.Is(err, ErrInsufficientPositives) {
+		t.Fatalf("error %v does not wrap ErrInsufficientPositives", err)
+	}
+	// Retry path: one positive for event 0 arrives; the rebuild succeeds.
+	if err := r.Add([]float64{0.6, 0.7}, []bool{true, true}); err != nil {
+		t.Fatal(err)
+	}
+	cls, err := r.RebuildRecent(21)
+	if err != nil {
+		t.Fatalf("rebuild after retry: %v", err)
+	}
+	if cls.NumPositives(0) != 1 || cls.NumPositives(1) != 21 {
+		t.Fatalf("positives = %d/%d", cls.NumPositives(0), cls.NumPositives(1))
+	}
+}
+
+// TestRebuildRecentWindowExcludesPositive: the positive check is applied
+// to the requested window, not the full buffer — a buffer that contains a
+// positive outside the window still fails retryably.
+func TestRebuildRecentWindowExcludesPositive(t *testing.T) {
+	r, _ := NewRecalibrator(50, 1)
+	if err := r.Add([]float64{0.9}, []bool{true}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := r.Add([]float64{0.1}, []bool{false}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Rebuild(); err != nil {
+		t.Fatalf("full-buffer rebuild has a positive, got %v", err)
+	}
+	_, err := r.RebuildRecent(10)
+	if !errors.Is(err, ErrInsufficientPositives) {
+		t.Fatalf("window without positive: got %v, want ErrInsufficientPositives", err)
 	}
 }
 

@@ -1,10 +1,18 @@
 package drift
 
 import (
+	"errors"
 	"fmt"
 
 	"eventhit/internal/conformal"
 )
+
+// ErrInsufficientPositives reports that the requested rebuild window holds
+// no positive outcome for at least one event, so no conformal p-value can
+// be defined for it yet. It is a retryable condition, not a fatal one: an
+// adaptation loop should keep buffering labeled outcomes and try again
+// (match with errors.Is).
+var ErrInsufficientPositives = errors.New("drift: insufficient post-shift positives")
 
 // Recalibrator keeps a rolling buffer of the most recent labeled
 // existence scores and rebuilds a C-CLASSIFY calibration from them on
@@ -58,6 +66,18 @@ func (r *Recalibrator) Add(b []float64, label []bool) error {
 // Len returns the number of buffered records.
 func (r *Recalibrator) Len() int { return r.filled }
 
+// Reset discards every buffered record. Call it when the scoring model
+// changes: scores cut by the old model would poison a rebuild for the new
+// one.
+func (r *Recalibrator) Reset() {
+	for i := range r.scores {
+		r.scores[i] = nil
+		r.labels[i] = nil
+	}
+	r.head = 0
+	r.filled = 0
+}
+
 // Rebuild cuts a fresh C-CLASSIFY calibration from the whole buffer. It
 // fails (like conformal.NewClassifier) when some event has no buffered
 // positive.
@@ -69,6 +89,10 @@ func (r *Recalibrator) Rebuild() (*conformal.Classifier, error) {
 // the right call after a drift alarm, when older buffer entries still
 // reflect the pre-shift distribution. Collect enough post-alarm outcomes
 // first: calibrating on a stale/fresh mixture restores nothing.
+//
+// When the window lacks a positive outcome for some event the error wraps
+// ErrInsufficientPositives: the window is merely too fresh, not broken —
+// keep buffering and retry.
 func (r *Recalibrator) RebuildRecent(n int) (*conformal.Classifier, error) {
 	if r.filled == 0 {
 		return nil, fmt.Errorf("drift: empty recalibration buffer")
@@ -83,10 +107,22 @@ func (r *Recalibrator) RebuildRecent(n int) (*conformal.Classifier, error) {
 	labels := make([][]bool, 0, n)
 	// head points at the slot after the newest entry.
 	start := (r.head - n + r.capacity) % r.capacity
+	positives := make([]int, r.k)
 	for i := 0; i < n; i++ {
 		idx := (start + i) % r.capacity
 		scores = append(scores, r.scores[idx])
 		labels = append(labels, r.labels[idx])
+		for j, l := range r.labels[idx] {
+			if l {
+				positives[j]++
+			}
+		}
+	}
+	for j, p := range positives {
+		if p == 0 {
+			return nil, fmt.Errorf("event %d has no positive in the %d-record rebuild window: %w",
+				j, n, ErrInsufficientPositives)
+		}
 	}
 	return conformal.NewClassifier(scores, labels)
 }

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+
+	"eventhit/internal/strategy"
 )
 
 // Client is a small typed client for the marshalling service.
@@ -142,6 +144,24 @@ func (c *Client) PredictSession(id string, confidence, coverage float64) (Predic
 	}
 	var out PredictResponse
 	err := c.post(path, nil, &out)
+	return out, err
+}
+
+// PushModel uploads a new bundle to POST /v1/model, atomically hot-swapping
+// the served model+calibration. The server validates the bundle against its
+// frozen geometry and rejects a misfit at swap time.
+func (c *Client) PushModel(b *strategy.Bundle) (ModelResponse, error) {
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		return ModelResponse{}, err
+	}
+	resp, err := c.hc.Post(c.base+"/v1/model", "application/octet-stream", &buf)
+	if err != nil {
+		return ModelResponse{}, err
+	}
+	defer resp.Body.Close()
+	var out ModelResponse
+	err = decodeResponse(resp, &out)
 	return out, err
 }
 

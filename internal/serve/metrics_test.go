@@ -48,6 +48,12 @@ func TestStatsJSONShapeWithRelay(t *testing.T) {
 		`"ciSpentUSD":0`,
 		`"breakerTrips":0`,
 		`"breakerState":"closed"`,
+		`"adaptEnabled":false`,
+		`"modelGeneration":0`,
+		`"adminSwaps":0`,
+		`"recalibrationSwaps":0`,
+		`"driftAlarmEpisodes":0`,
+		`"recalibrationsDeferred":0`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("stats body missing %s:\n%s", want, body)
@@ -114,6 +120,14 @@ func TestMetricsEndpoint(t *testing.T) {
 		// cloud layer
 		"eventhit_cloud_billed_frames_total",
 		"eventhit_cloud_spent_usd_total",
+		// hot swap / adaptation layer (present at zero even when Adapt is off)
+		"eventhit_serve_swap_generation 0",
+		"eventhit_serve_swap_admin_total 0",
+		"eventhit_serve_swap_recalibration_total 0",
+		"eventhit_serve_drift_observations_total 0",
+		"eventhit_serve_drift_alarm_episodes_total 0",
+		"eventhit_serve_drift_audits_total 0",
+		"eventhit_serve_drift_recalibrations_deferred_total 0",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, body)

@@ -23,6 +23,7 @@
 //	DELETE /v1/sessions/{id}                          -> 204; frees the session and its rate bucket
 //	POST   /v1/sessions/{id}/frames                   -> as /v1/frames, for one session
 //	POST   /v1/sessions/{id}/predict                  -> as /v1/predict, for one session
+//	POST   /v1/model    (bundle in Save format)       -> {"generation": g}; atomic hot swap
 //	GET    /v1/stats                                  -> counters incl. estimated spend
 //	GET    /v1/healthz                                -> 200 "ok"
 //	GET    /metrics                                   -> Prometheus text exposition
@@ -37,12 +38,14 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"eventhit/internal/cicache"
 	"eventhit/internal/cloud"
 	"eventhit/internal/dataset"
 	"eventhit/internal/fleet"
+	"eventhit/internal/metrics"
 	"eventhit/internal/obs"
 	"eventhit/internal/resilience"
 	"eventhit/internal/strategy"
@@ -107,10 +110,25 @@ type Config struct {
 	// default: profiling endpoints expose goroutine stacks and should only
 	// be reachable on operator-trusted listeners.
 	EnablePprof bool
+	// Quantized serves predictions through the bundle's int16 quantized
+	// twin. The twin is built whenever a bundle is installed — at boot and
+	// at every swap — so a pushed bundle whose encoder cannot be quantized
+	// is rejected at swap time.
+	Quantized bool
+	// Adapt, when non-nil, turns on the per-session online adaptation
+	// loop: served horizons whose ground truth comes back (relayed ones are
+	// CI-labeled for free, skipped ones audited at Adapt.AuditRate) feed a
+	// per-session coverage monitor and recalibration buffer; a sustained
+	// coverage alarm triggers an automatic calibration rebuild and hot swap
+	// for that session. Requires CI — the labels come back from the relay —
+	// and DefaultCoverage < 1 (the monitor needs a nominal miss budget).
+	Adapt *AdaptConfig
 }
 
 // session is one camera stream's ingest and decision state. All fields are
-// guarded by Server.mu.
+// guarded by Server.mu except unit (atomic — the request path loads it
+// lock-free) and ad (touched only under relayMu; its counters are
+// committed into the mu-guarded fields below by handlePredict).
 type session struct {
 	id        string
 	buf       [][]float64 // ring of the last `window` frames
@@ -122,15 +140,38 @@ type session struct {
 	relayedOK int64
 	deferred  int64 // CI degradation (retries exhausted, breaker open)
 	admitDef  int64 // fleet arbiter declined admission (rate or budget)
+
+	// unit is the session's serving bundle. Global swaps (boot, admin
+	// push) install into every session; the adaptation loop swaps only its
+	// own session's pointer.
+	unit atomic.Pointer[bundleUnit]
+	// ad is the online adaptation state (nil unless Config.Adapt is set).
+	ad *adapter
+	// Committed adaptation counters (absolute values copied from ad under
+	// mu at each predict commit, so /v1/stats never reads adapter state).
+	driftObs      int64
+	driftEpisodes int64
+	driftAudits   int64
+	auditFrames   int64
+	recalSwaps    int64
+	recalDeferred int64
 }
 
 // Server is the HTTP marshalling service. Create with New; it implements
 // http.Handler.
 type Server struct {
-	cfg     Config
-	window  int
-	horizon int
-	k       int
+	cfg      Config
+	window   int
+	horizon  int
+	k        int
+	inputDim int
+
+	// unit is the globally installed serving bundle (what new sessions
+	// start from); gens is the monotonic swap generation counter (boot is
+	// 0). adminSwaps counts POST /v1/model swaps and is guarded by mu.
+	unit       atomic.Pointer[bundleUnit]
+	gens       atomic.Uint64
+	adminSwaps int64
 
 	mu sync.Mutex
 	// predictMu serializes model inference: core.Model caches activations
@@ -214,12 +255,11 @@ func New(cfg Config) (*Server, error) {
 		window:   mc.Window,
 		horizon:  mc.Horizon,
 		k:        mc.NumEvents,
+		inputDim: mc.InputDim,
 		sessions: make(map[string]*session),
 		metrics:  obs.NewRegistry(),
 		mux:      http.NewServeMux(),
 	}
-	s.sessions[DefaultSession] = &session{id: DefaultSession}
-	s.order = append(s.order, DefaultSession)
 	s.eventSet = cfg.CIEvents
 	if s.eventSet == nil {
 		s.eventSet = make([]int, mc.NumEvents)
@@ -263,6 +303,25 @@ func New(cfg Config) (*Server, error) {
 		s.arbiter = arb
 		arb.Register(s.metrics, nil)
 	}
+	if cfg.Adapt != nil {
+		if cfg.CI == nil {
+			return nil, fmt.Errorf("serve: Adapt requires CI (ground-truth labels come back from the relay)")
+		}
+		if err := cfg.Adapt.validate(); err != nil {
+			return nil, err
+		}
+		if cfg.DefaultCoverage >= 1 {
+			return nil, fmt.Errorf("serve: Adapt requires DefaultCoverage < 1 (the monitor needs a nominal miss budget)")
+		}
+	}
+	u, err := s.newUnit(cfg.Bundle, 0, swapOriginBoot)
+	if err != nil {
+		return nil, err
+	}
+	s.unit.Store(u)
+	if _, err := s.newSessionLocked(DefaultSession); err != nil {
+		return nil, err
+	}
 	s.registerServeMetrics()
 	s.mux.HandleFunc("POST /v1/frames", s.instrument("/v1/frames", s.forSession("", s.handleFrames)))
 	s.mux.HandleFunc("POST /v1/predict", s.instrument("/v1/predict", s.forSession("", s.handlePredict)))
@@ -271,6 +330,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("/v1/sessions", s.handleSessionDelete))
 	s.mux.HandleFunc("POST /v1/sessions/{id}/frames", s.instrument("/v1/sessions/frames", s.forSession("id", s.handleFrames)))
 	s.mux.HandleFunc("POST /v1/sessions/{id}/predict", s.instrument("/v1/sessions/predict", s.forSession("id", s.handlePredict)))
+	s.mux.HandleFunc("POST /v1/model", s.instrument("/v1/model", s.handleModelPush))
 	s.mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
 	s.mux.HandleFunc("GET /v1/healthz", s.instrument("/v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -306,11 +366,40 @@ func (s *Server) registerServeMetrics() {
 		{"eventhit_serve_sessions", "sessions hosted by this server", func(st Stats) float64 { return float64(st.Sessions) }},
 		{"eventhit_serve_estimated_usd_total", "estimated spend of decided relays", func(st Stats) float64 { return st.EstimatedUSD }},
 		{"eventhit_serve_brute_force_usd_total", "what relaying every horizon would cost", func(st Stats) float64 { return st.BruteForceUSD }},
+		{"eventhit_serve_swap_admin_total", "bundles swapped in via POST /v1/model", func(st Stats) float64 { return float64(st.AdminSwaps) }},
+		{"eventhit_serve_swap_recalibration_total", "calibration swaps cut by the adaptation loop", func(st Stats) float64 { return float64(st.RecalibrationSwaps) }},
+		{"eventhit_serve_drift_observations_total", "realized coverage outcomes fed to drift monitors", func(st Stats) float64 { return float64(st.DriftObservations) }},
+		{"eventhit_serve_drift_alarm_episodes_total", "distinct coverage alarm episodes (edge-triggered)", func(st Stats) float64 { return float64(st.DriftAlarmEpisodes) }},
+		{"eventhit_serve_drift_audits_total", "skipped horizons ground-truthed by audit relays", func(st Stats) float64 { return float64(st.DriftAudits) }},
+		{"eventhit_serve_drift_audit_frames_total", "frames relayed for audits (CI-billed, not marshalling)", func(st Stats) float64 { return float64(st.DriftAuditFrames) }},
+		{"eventhit_serve_drift_recalibrations_deferred_total", "recalibration attempts deferred for lack of post-shift positives", func(st Stats) float64 { return float64(st.RecalibrationsDeferred) }},
 	}
 	for _, f := range fields {
 		get := f.get
 		s.metrics.CounterFunc(f.name, f.help, nil, func() float64 { return get(s.snapshot()) })
 	}
+	s.metrics.GaugeFunc("eventhit_serve_swap_generation",
+		"current model swap generation (boot is 0)", nil,
+		func() float64 { return float64(s.gens.Load()) })
+}
+
+// newSessionLocked creates and registers a session. Caller holds mu (or is
+// still inside New, before the server is shared). The session starts on
+// the globally installed unit and, when adaptation is on, gets its own
+// monitor and recalibration buffer.
+func (s *Server) newSessionLocked(id string) (*session, error) {
+	sess := &session{id: id}
+	sess.unit.Store(s.unit.Load())
+	if s.cfg.Adapt != nil {
+		ad, err := newAdapter(*s.cfg.Adapt, s.cfg.DefaultCoverage, s.k)
+		if err != nil {
+			return nil, err
+		}
+		sess.ad = ad
+	}
+	s.sessions[id] = sess
+	s.order = append(s.order, id)
+	return sess, nil
 }
 
 // statusWriter captures the response code for the request counter.
@@ -423,8 +512,11 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, "session %q already exists", id)
 		return
 	}
-	s.sessions[id] = &session{id: id}
-	s.order = append(s.order, id)
+	if _, err := s.newSessionLocked(id); err != nil {
+		s.mu.Unlock()
+		httpError(w, http.StatusInternalServerError, "creating session: %v", err)
+		return
+	}
 	s.mu.Unlock()
 	w.WriteHeader(http.StatusCreated)
 	writeJSON(w, SessionRequest{ID: id})
@@ -510,7 +602,11 @@ func (s *Server) handleFrames(sess *session, w http.ResponseWriter, r *http.Requ
 		httpError(w, http.StatusRequestEntityTooLarge, "batch of %d frames exceeds limit %d", len(req.Frames), MaxFramesPerPush)
 		return
 	}
-	d := s.cfg.Bundle.Model.Config().InputDim
+	// Resolve through the session's atomic unit, not Config.Bundle: the
+	// serving model may have been swapped since boot. (Swap validation
+	// freezes InputDim server-wide, so this is belt and braces — but it
+	// keeps the request path honest about where the model lives.)
+	d := s.resolveUnit(sess).inputDim
 	for i, f := range req.Frames {
 		if len(f) != d {
 			httpError(w, http.StatusBadRequest, "frame %d has %d channels, model expects %d", i, len(f), d)
@@ -598,8 +694,21 @@ func (s *Server) handlePredict(sess *session, w http.ResponseWriter, r *http.Req
 	anchor := sess.next - 1
 	s.mu.Unlock()
 
+	// Resolve the serving unit exactly once: everything below — inference,
+	// relay labeling, recalibration — sees one consistent model+calibration
+	// pair even if a swap lands mid-request.
+	u := s.resolveUnit(sess)
+	rec := dataset.Record{X: x, Label: make([]bool, s.k)}
+	var pred metrics.Prediction
+	var scores []float64
 	s.predictMu.Lock()
-	pred := s.cfg.Bundle.EHCR(conf, cov).Predict(dataset.Record{X: x, Label: make([]bool, s.k)})
+	if sess.ad != nil {
+		// The adaptation loop needs the raw existence scores to buffer for
+		// recalibration alongside the decision.
+		pred, scores = u.bundle.PredictScored(rec, conf, cov)
+	} else {
+		pred = u.bundle.EHCR(conf, cov).Predict(rec)
+	}
 	s.predictMu.Unlock()
 	if s.relay != nil {
 		// Hold relayMu across both the Detect calls and the snapshot commit
@@ -610,7 +719,12 @@ func (s *Server) handlePredict(sess *session, w http.ResponseWriter, r *http.Req
 	}
 	resp := PredictResponse{Anchor: anchor, HorizonEnd: anchor + s.horizon}
 	var relays, frames, relayedOK, deferred, admitDef int64
+	var audits, auditFrames int64
 	skipped := int64(0)
+	// Ground truth recovered for this horizon, per event: relayed horizons
+	// are labeled by the CI verdict itself; skipped ones by audit relays.
+	labelKnown := make([]bool, s.k)
+	labelTrue := make([]bool, s.k)
 	for k := 0; k < s.k; k++ {
 		d := Decision{Event: s.cfg.EventNames[k]}
 		if pred.Occur[k] {
@@ -665,11 +779,34 @@ func (s *Server) handlePredict(sess *session, w http.ResponseWriter, r *http.Req
 					} else {
 						d.Detections = len(res.Det.Found)
 						relayedOK++
+						// A served relay is a free ground-truth label: the CI
+						// just told us whether the event really occurred here.
+						labelKnown[k] = true
+						labelTrue[k] = len(res.Det.Found) > 0
 					}
 				}
 			}
 		} else {
 			skipped++
+			if sess.ad != nil {
+				// Audit accumulator: deterministic, not a coin flip. Audits
+				// relay the full horizon purely to label the skip decision;
+				// they bypass the fleet arbiter and the decided-relay frame
+				// tally (they are billed CI spend, surfaced separately as
+				// DriftAuditFrames). Without them the monitor would be blind
+				// to exactly the failure drift causes: skipping real events.
+				sess.ad.auditAcc += s.cfg.Adapt.AuditRate
+				if sess.ad.auditAcc >= 1 {
+					sess.ad.auditAcc--
+					hz := video.Interval{Start: anchor + 1, End: anchor + s.horizon}
+					if res, err := s.relay.Detect(s.eventSet[k], hz); err == nil {
+						labelKnown[k] = true
+						labelTrue[k] = len(res.Det.Found) > 0
+						audits++
+						auditFrames += int64(hz.Len())
+					}
+				}
+			}
 		}
 		resp.Decisions = append(resp.Decisions, d)
 		if s.cfg.Trace != nil {
@@ -684,6 +821,44 @@ func (s *Server) handlePredict(sess *session, w http.ResponseWriter, r *http.Req
 			}
 		}
 	}
+	if sess.ad != nil {
+		// Still under relayMu: feed the monitor and the recalibration
+		// buffer, then let the episode state machine decide whether a
+		// recalibration is due. A successful rebuild swaps only this
+		// session's unit — drift is per camera; other sessions keep their
+		// calibration.
+		ad := sess.ad
+		anyLabel := false
+		for k := 0; k < s.k; k++ {
+			if !labelKnown[k] {
+				continue
+			}
+			anyLabel = true
+			if labelTrue[k] {
+				// Coverage outcome: the event truly occurred — did the
+				// conformal layer keep it?
+				ad.observeOutcome(pred.Occur[k])
+			}
+		}
+		if anyLabel {
+			lbl := make([]bool, s.k)
+			for k := range lbl {
+				// Unknown labels are recorded false: C-CLASSIFY calibrates
+				// on positives only, so an unlabeled (possibly-positive)
+				// horizon can never corrupt the rebuilt classifier — it is
+				// just not evidence.
+				lbl[k] = labelKnown[k] && labelTrue[k]
+			}
+			if err := ad.rec.Add(scores, lbl); err == nil {
+				ad.noteBuffered()
+			}
+		}
+		ad.audits += audits
+		ad.auditFrames += auditFrames
+		if nu := ad.step(s, u); nu != nil {
+			sess.unit.Store(nu)
+		}
+	}
 	s.mu.Lock()
 	sess.predicts++
 	sess.relays += relays
@@ -692,6 +867,17 @@ func (s *Server) handlePredict(sess *session, w http.ResponseWriter, r *http.Req
 	sess.relayedOK += relayedOK
 	sess.deferred += deferred
 	sess.admitDef += admitDef
+	if sess.ad != nil {
+		// Commit absolute adapter counters so /v1/stats and the metrics
+		// never touch adapter state (which relayMu, not mu, guards).
+		mobs, meps := sess.ad.mon.Stats()
+		sess.driftObs = int64(mobs)
+		sess.driftEpisodes = int64(meps)
+		sess.driftAudits = sess.ad.audits
+		sess.auditFrames = sess.ad.auditFrames
+		sess.recalSwaps = sess.ad.recalibs
+		sess.recalDeferred = sess.ad.recalDeferred
+	}
 	if s.relay != nil {
 		s.relaySnap = relaySnapshot{
 			stats:   s.relay.Stats(),
@@ -745,6 +931,20 @@ type Stats struct {
 	CacheEntries   int     `json:"cacheEntries"`
 	CacheEvictions int64   `json:"cacheEvictions"`
 	CacheSavedUSD  float64 `json:"cacheSavedUSD"`
+	// Hot swap & online adaptation. ModelGeneration and AdminSwaps advance
+	// on POST /v1/model regardless of Adapt; the drift/recalibration fields
+	// are zero unless Config.Adapt is set (AdaptEnabled distinguishes
+	// "adaptation off" from "on, nothing observed yet").
+	AdaptEnabled           bool   `json:"adaptEnabled"`
+	QuantizedServing       bool   `json:"quantizedServing"`
+	ModelGeneration        uint64 `json:"modelGeneration"`
+	AdminSwaps             int64  `json:"adminSwaps"`
+	RecalibrationSwaps     int64  `json:"recalibrationSwaps"`
+	DriftObservations      int64  `json:"driftObservations"`
+	DriftAlarmEpisodes     int64  `json:"driftAlarmEpisodes"`
+	DriftAudits            int64  `json:"driftAudits"`
+	DriftAuditFrames       int64  `json:"driftAuditFrames"`
+	RecalibrationsDeferred int64  `json:"recalibrationsDeferred"`
 }
 
 // snapshot assembles Stats from one critical section. The relay/CI fields
@@ -754,9 +954,13 @@ type Stats struct {
 func (s *Server) snapshot() Stats {
 	s.mu.Lock()
 	st := Stats{
-		Sessions:     len(s.sessions),
-		RelayEnabled: s.relay != nil,
-		FleetEnabled: s.arbiter != nil,
+		Sessions:         len(s.sessions),
+		RelayEnabled:     s.relay != nil,
+		FleetEnabled:     s.arbiter != nil,
+		AdaptEnabled:     s.cfg.Adapt != nil,
+		QuantizedServing: s.cfg.Quantized,
+		ModelGeneration:  s.gens.Load(),
+		AdminSwaps:       s.adminSwaps,
 	}
 	for _, sess := range s.sessions {
 		st.FramesIngested += sess.next
@@ -767,6 +971,12 @@ func (s *Server) snapshot() Stats {
 		st.RelayedOK += sess.relayedOK
 		st.DeferredRelays += sess.deferred
 		st.AdmissionDeferred += sess.admitDef
+		st.RecalibrationSwaps += sess.recalSwaps
+		st.DriftObservations += sess.driftObs
+		st.DriftAlarmEpisodes += sess.driftEpisodes
+		st.DriftAudits += sess.driftAudits
+		st.DriftAuditFrames += sess.auditFrames
+		st.RecalibrationsDeferred += sess.recalDeferred
 	}
 	st.EstimatedUSD = float64(st.FramesToCloud) * s.cfg.PerFrameUSD
 	st.BruteForceUSD = float64(st.Predictions) * float64(s.horizon) * float64(s.k) * s.cfg.PerFrameUSD

@@ -1,0 +1,356 @@
+// Hot model swap + drift-triggered online recalibration — the §VIII
+// "future work" loop closed inside the server. The served model and its
+// conformal calibrations travel together as one immutable bundleUnit
+// behind an atomic pointer: every request resolves the unit exactly once,
+// so a swap is zero-downtime and an in-flight request can never observe a
+// torn model/calibration pair (the cf-faas hot_swap idiom — swap the
+// handler behind a pointer, never mutate it in place).
+//
+// Two things swap units in:
+//
+//   - POST /v1/model pushes an operator-supplied bundle (retrained
+//     offline, A/B candidate, rollback). The push is validated against the
+//     server's frozen geometry — input dimensionality, window, horizon,
+//     event count — and rejected at swap time, never as a 500 at the next
+//     frame.
+//   - The per-session adaptation loop: every served horizon whose ground
+//     truth comes back (relayed horizons are CI-labeled for free; skipped
+//     horizons are audited at AuditRate) feeds a drift.Monitor and a
+//     drift.Recalibrator. When a coverage alarm episode opens and enough
+//     post-alarm outcomes have been buffered, RebuildRecent cuts a fresh
+//     C-CLASSIFY calibration, the session's unit is swapped for one
+//     carrying it, and the monitor is Reset. One sustained shift is one
+//     episode is (at most) one recalibration — the edge-triggered episode
+//     accounting in internal/drift is what prevents a recalibration storm.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"eventhit/internal/drift"
+	"eventhit/internal/strategy"
+)
+
+// MaxBundleBytes caps a POST /v1/model body. Bundles are gob-encoded
+// float64 weights plus calibration state; even generously sized models fit
+// well under this.
+const MaxBundleBytes = 64 << 20
+
+// Swap origins, recorded on each unit and split out in the counters.
+const (
+	swapOriginBoot          = "boot"
+	swapOriginAdmin         = "admin"
+	swapOriginRecalibration = "recalibration"
+)
+
+// bundleUnit is the atomically swappable serving state: the bundle view
+// requests predict through (the float bundle, or its quantized twin when
+// Config.Quantized is set) plus the frozen geometry every unit must agree
+// on. Units are immutable once published — a swap builds a new unit and
+// stores the pointer, it never touches a published one.
+type bundleUnit struct {
+	bundle   *strategy.Bundle
+	inputDim int
+	window   int
+	horizon  int
+	k        int
+	gen      uint64 // swap generation: boot is 0, each successful swap increments
+	origin   string
+}
+
+// newUnit validates a bundle against the server's frozen geometry and
+// wraps it as a serving unit. With Config.Quantized the int16 twin is
+// built here — so a bundle whose encoder has no quantized kernel is
+// rejected at swap time too.
+func (s *Server) newUnit(b *strategy.Bundle, gen uint64, origin string) (*bundleUnit, error) {
+	if b == nil || b.Model == nil {
+		return nil, fmt.Errorf("serve: nil bundle")
+	}
+	if b.Classifier == nil || b.Regressor == nil {
+		return nil, fmt.Errorf("serve: bundle missing conformal calibration state")
+	}
+	mc := b.Model.Config()
+	if origin != swapOriginBoot {
+		switch {
+		case mc.InputDim != s.inputDim:
+			return nil, fmt.Errorf("serve: bundle input dim %d, server expects %d", mc.InputDim, s.inputDim)
+		case mc.Window != s.window:
+			return nil, fmt.Errorf("serve: bundle window %d, server expects %d", mc.Window, s.window)
+		case mc.Horizon != s.horizon:
+			return nil, fmt.Errorf("serve: bundle horizon %d, server expects %d", mc.Horizon, s.horizon)
+		case mc.NumEvents != s.k:
+			return nil, fmt.Errorf("serve: bundle has %d events, server expects %d", mc.NumEvents, s.k)
+		}
+	}
+	if cn := b.Classifier.NumEvents(); cn != mc.NumEvents {
+		return nil, fmt.Errorf("serve: classifier covers %d events, model has %d", cn, mc.NumEvents)
+	}
+	serving := b
+	if s.cfg.Quantized {
+		qb, err := b.WithQuantized()
+		if err != nil {
+			return nil, fmt.Errorf("serve: quantized twin: %w", err)
+		}
+		serving = qb
+	}
+	return &bundleUnit{
+		bundle:   serving,
+		inputDim: mc.InputDim,
+		window:   mc.Window,
+		horizon:  mc.Horizon,
+		k:        mc.NumEvents,
+		gen:      gen,
+		origin:   origin,
+	}, nil
+}
+
+// Swap validates b and atomically installs it as the serving unit of every
+// session (and of sessions created later). Running requests finish on the
+// unit they resolved; new requests see the new one. Each session's
+// adaptation state is rebased onto the new model: the coverage monitor's
+// window is cleared (lifetime counters kept) and the recalibration buffer
+// — whose scores came from the old model — is discarded. It returns the
+// new swap generation.
+func (s *Server) Swap(b *strategy.Bundle, origin string) (uint64, error) {
+	// Validate before burning a generation number.
+	probe, err := s.newUnit(b, 0, origin)
+	if err != nil {
+		return 0, err
+	}
+	// Lock order matches handlePredict: relayMu (serializes the adaptation
+	// state we are about to rebase) before mu (session table).
+	if s.relay != nil {
+		s.relayMu.Lock()
+		defer s.relayMu.Unlock()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gen := s.gens.Add(1)
+	u := *probe
+	u.gen = gen
+	s.unit.Store(&u)
+	for _, sess := range s.sessions {
+		sess.unit.Store(&u)
+		if sess.ad != nil {
+			sess.ad.rebase()
+		}
+	}
+	if origin == swapOriginAdmin {
+		s.adminSwaps++
+	}
+	return gen, nil
+}
+
+// resolveUnit returns the session's current serving unit.
+func (s *Server) resolveUnit(sess *session) *bundleUnit {
+	if u := sess.unit.Load(); u != nil {
+		return u
+	}
+	// Sessions are always created with a unit; this is only a guard.
+	return s.unit.Load()
+}
+
+// ModelResponse acknowledges a POST /v1/model swap.
+type ModelResponse struct {
+	Generation uint64 `json:"generation"`
+	Params     int    `json:"params"`
+	Quantized  bool   `json:"quantized"`
+}
+
+// handleModelPush is POST /v1/model: the body is a bundle in
+// strategy.Bundle.Save format (the eventhittrain artifact). A bundle that
+// decodes but does not fit the server — wrong input dimensionality,
+// window, horizon or event count, or no quantized kernel on a quantized
+// server — is rejected here with 422, so a bad push can never become a
+// 500 at the next frame.
+func (s *Server) handleModelPush(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBundleBytes)
+	b, err := strategy.LoadBundle(r.Body)
+	if err != nil {
+		code := http.StatusBadRequest
+		if _, ok := err.(*http.MaxBytesError); ok {
+			code = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, code, "decoding bundle: %v", err)
+		return
+	}
+	gen, err := s.Swap(b, swapOriginAdmin)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, ModelResponse{Generation: gen, Params: b.Model.NumParams(), Quantized: s.cfg.Quantized})
+}
+
+// AdaptConfig parametrizes the per-session online adaptation loop. The
+// loop needs the server to own the relay (Config.CI): realized labels come
+// back from the CI itself.
+type AdaptConfig struct {
+	// MonitorWindow and MonitorDelta parametrize the per-session Hoeffding
+	// coverage monitor (drift.NewMonitor): outcomes per sliding window and
+	// alarm significance.
+	MonitorWindow int
+	MonitorDelta  float64
+	// BufferCap bounds the per-session recalibration buffer (labeled
+	// score/outcome pairs).
+	BufferCap int
+	// MinFresh is how many labeled outcomes must be buffered after an
+	// alarm episode opens before a recalibration is attempted. Too small
+	// and the new calibration is cut from noise; too large and the stale
+	// calibration serves longer. Recalibrating at alarm time itself would
+	// calibrate on a pre/post-shift mixture and restore nothing.
+	MinFresh int
+	// AuditRate is the fraction of skipped (not-relayed) horizons whose
+	// ground truth is bought anyway: the full horizon is relayed to the CI
+	// purely to label the decision. Audits are billed CI spend (visible as
+	// DriftAuditFrames) but are not marshalling relays: they bypass the
+	// fleet arbiter and are excluded from EstimatedUSD. 0 disables audits,
+	// which leaves the monitor blind to missed events the model skipped —
+	// fine when relays are frequent, fatal when a shift makes the model
+	// skip everything. The accounting is a deterministic accumulator, not
+	// a coin flip: over n skipped horizons, floor(n*AuditRate)±1 audits.
+	AuditRate float64
+}
+
+// DefaultAdaptConfig returns moderate defaults: a 40-outcome window at 5%
+// significance, a 1024-record buffer, 48 post-alarm outcomes before
+// recalibrating, and a 10% audit rate.
+func DefaultAdaptConfig() AdaptConfig {
+	return AdaptConfig{
+		MonitorWindow: 40,
+		MonitorDelta:  0.05,
+		BufferCap:     1024,
+		MinFresh:      48,
+		AuditRate:     0.1,
+	}
+}
+
+func (c AdaptConfig) validate() error {
+	if c.MonitorDelta <= 0 || c.MonitorDelta >= 1 {
+		return fmt.Errorf("serve: adapt MonitorDelta %v must be in (0,1)", c.MonitorDelta)
+	}
+	if c.MonitorWindow < 10 {
+		return fmt.Errorf("serve: adapt MonitorWindow %d too small (min 10)", c.MonitorWindow)
+	}
+	if c.BufferCap < 10 {
+		return fmt.Errorf("serve: adapt BufferCap %d too small (min 10)", c.BufferCap)
+	}
+	if c.MinFresh < 1 || c.MinFresh > c.BufferCap {
+		return fmt.Errorf("serve: adapt MinFresh %d must be in [1, BufferCap=%d]", c.MinFresh, c.BufferCap)
+	}
+	if c.AuditRate < 0 || c.AuditRate > 1 {
+		return fmt.Errorf("serve: adapt AuditRate %v must be in [0,1]", c.AuditRate)
+	}
+	return nil
+}
+
+// adapter is one session's adaptation state. It is only ever touched on
+// the relay path (under relayMu) and by Swap (which also holds relayMu),
+// so it needs no lock of its own; the counters the stats snapshot reads
+// are committed into the session struct under mu by handlePredict.
+type adapter struct {
+	mon *drift.Monitor
+	rec *drift.Recalibrator
+	// auditAcc implements the deterministic audit accumulator: += AuditRate
+	// per skipped horizon, audit and -= 1 when it reaches 1.
+	auditAcc float64
+	// episodeOpen mirrors the monitor's episode state as seen by the loop;
+	// fresh counts labeled outcomes buffered since the episode opened.
+	episodeOpen bool
+	fresh       int
+	// lifetime counters (survive swaps; the monitor's own lifetime
+	// counters survive rebase too, since rebase Resets rather than
+	// replaces it).
+	audits        int64
+	auditFrames   int64
+	recalibs      int64
+	recalDeferred int64
+}
+
+func newAdapter(cfg AdaptConfig, target float64, k int) (*adapter, error) {
+	mon, err := drift.NewMonitor(target, cfg.MonitorWindow, cfg.MonitorDelta)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := drift.NewRecalibrator(cfg.BufferCap, k)
+	if err != nil {
+		return nil, err
+	}
+	return &adapter{mon: mon, rec: rec}, nil
+}
+
+// rebase re-points the adaptation state at a freshly swapped-in model:
+// the monitor's window is cleared (outcomes measured against the old
+// calibration no longer apply; lifetime counters are kept) and the
+// recalibration buffer is replaced — its scores came from the old model
+// and would poison a future rebuild.
+func (a *adapter) rebase() {
+	a.mon.Reset()
+	a.rec.Reset()
+	a.episodeOpen = false
+	a.fresh = 0
+}
+
+// observeOutcome feeds one realized coverage outcome (the event truly
+// occurred; kept reports whether the conformal layer relayed it).
+func (a *adapter) observeOutcome(kept bool) {
+	a.mon.Observe(kept)
+}
+
+// noteBuffered records that one labeled score/outcome pair entered the
+// recalibration buffer.
+func (a *adapter) noteBuffered() {
+	if a.episodeOpen {
+		a.fresh++
+	}
+}
+
+// step advances the episode state machine and attempts a recalibration
+// when due. It returns the freshly built bundle unit to swap in (nil when
+// nothing is due or the buffer is not ready yet).
+func (a *adapter) step(s *Server, u *bundleUnit) *bundleUnit {
+	if a.mon.InEpisode() {
+		if !a.episodeOpen {
+			a.episodeOpen = true
+			a.fresh = 0
+		}
+	} else if a.episodeOpen {
+		// The window recovered on its own (transient violation): close the
+		// episode without recalibrating.
+		a.episodeOpen = false
+		a.fresh = 0
+	}
+	if !a.episodeOpen || a.fresh < s.cfg.Adapt.MinFresh {
+		return nil
+	}
+	cls, err := a.rec.RebuildRecent(a.fresh)
+	if err != nil {
+		if errors.Is(err, drift.ErrInsufficientPositives) {
+			// Retryable: the post-alarm window has no positive for some
+			// event yet. Keep buffering; the next labeled outcome retries.
+			a.recalDeferred++
+			return nil
+		}
+		// Anything else is unexpected with a non-empty buffer; drop the
+		// attempt and let the episode keep buffering.
+		a.recalDeferred++
+		return nil
+	}
+	nb, err := u.bundle.WithClassifier(cls)
+	if err != nil {
+		// Cannot happen: the classifier was cut for this model's k.
+		a.recalDeferred++
+		return nil
+	}
+	a.mon.Reset()
+	a.episodeOpen = false
+	a.fresh = 0
+	a.recalibs++
+	nu := *u
+	nu.bundle = nb
+	nu.gen = s.gens.Add(1)
+	nu.origin = swapOriginRecalibration
+	return &nu
+}

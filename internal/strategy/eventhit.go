@@ -80,6 +80,37 @@ func (b *Bundle) WithQuantized() (*Bundle, error) {
 	return &out, nil
 }
 
+// Clone returns an independently usable copy of the bundle: the model
+// (whose forward pass caches activations and is therefore not safe to
+// share across concurrent users) is deep-cloned, while the calibration
+// state and thresholds — immutable once built — are shared. Any installed
+// Predictor view is dropped; rebuild it against the clone (e.g. with
+// WithQuantized) if needed.
+func (b *Bundle) Clone() *Bundle {
+	out := *b
+	out.Model = b.Model.Clone()
+	out.Predictor = nil
+	return &out
+}
+
+// WithClassifier returns a copy of the bundle serving the same model and
+// interval calibration with a replacement C-CLASSIFY calibration — the
+// swap an online recalibration performs after a drift alarm. The new
+// classifier must cover the same event count; any installed Predictor view
+// (e.g. the quantized twin) carries over unchanged, since the model it
+// wraps is untouched.
+func (b *Bundle) WithClassifier(cls *conformal.Classifier) (*Bundle, error) {
+	if cls == nil {
+		return nil, fmt.Errorf("strategy: nil classifier")
+	}
+	if got, want := cls.NumEvents(), b.Model.Config().NumEvents; got != want {
+		return nil, fmt.Errorf("strategy: classifier covers %d events, model has %d", got, want)
+	}
+	out := *b
+	out.Classifier = cls
+	return &out, nil
+}
+
 // Calibrate builds a bundle from a trained model and the two calibration
 // record sets (D_c-calib for C-CLASSIFY, D_r-calib for C-REGRESS).
 func Calibrate(m *core.Model, ccalib, rcalib []dataset.Record) (*Bundle, error) {
@@ -248,7 +279,13 @@ func (s *eh) predict(rec dataset.Record) core.Output {
 
 // Predict implements Strategy.
 func (s *eh) Predict(rec dataset.Record) metrics.Prediction {
-	out := s.predict(rec)
+	return s.decide(s.predict(rec))
+}
+
+// decide applies the variant's existence and interval rules to a model
+// output (the second half of Predict, split out so PredictScored can reuse
+// it on an output whose raw scores it also returns).
+func (s *eh) decide(out core.Output) metrics.Prediction {
 	k := len(out.B)
 	p := metrics.Prediction{Occur: make([]bool, k), OI: make([]video.Interval, k)}
 	var occ []bool
@@ -273,6 +310,24 @@ func (s *eh) Predict(rec dataset.Record) metrics.Prediction {
 		p.OI[j] = iv
 	}
 	return p
+}
+
+// PredictScored runs the EHCR decision (C-CLASSIFY at confidence,
+// C-REGRESS at coverage) and also returns a copy of the raw existence
+// scores b_k the decision was computed from — the values an online
+// recalibration loop buffers against realized labels (drift.Recalibrator).
+// One model forward pass serves both.
+func (b *Bundle) PredictScored(rec dataset.Record, confidence, coverage float64) (metrics.Prediction, []float64) {
+	s := &eh{
+		b:                     b,
+		useConformalExistence: true, confidence: confidence,
+		useConformalInterval: true, coverage: coverage,
+		name: "EHCR",
+	}
+	out := s.predict(rec)
+	scores := make([]float64, len(out.B))
+	copy(scores, out.B)
+	return s.decide(out), scores
 }
 
 // PredictRuns is the multi-instance extension (§II footnote 1): existence

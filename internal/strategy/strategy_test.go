@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"eventhit/internal/conformal"
 	"eventhit/internal/core"
 	"eventhit/internal/dataset"
 	"eventhit/internal/features"
@@ -640,5 +641,114 @@ func TestCalibrateMultiEvent(t *testing.T) {
 	}
 	if _, err := Calibrate(m, onesided, onesided); err == nil {
 		t.Fatal("expected error when an event has no positive calibration records")
+	}
+}
+
+// TestBundleClone: the clone predicts identically but owns its model, so
+// mutating (retraining) the original cannot leak into the clone and the
+// two are safe behind separate inference mutexes.
+func TestBundleClone(t *testing.T) {
+	f := getFixture(t)
+	c := f.bundle.Clone()
+	if c.Model == f.bundle.Model {
+		t.Fatal("Clone shares the model")
+	}
+	if c.Predictor != nil {
+		t.Fatal("Clone must drop the predictor view")
+	}
+	if c.Classifier != f.bundle.Classifier || c.Regressor != f.bundle.Regressor {
+		t.Fatal("Clone must share the immutable calibration state")
+	}
+	for _, rec := range f.splits.Test[:25] {
+		a := f.bundle.EHCR(0.9, 0.9).Predict(rec)
+		b := c.EHCR(0.9, 0.9).Predict(rec)
+		for k := range a.Occur {
+			if a.Occur[k] != b.Occur[k] || a.OI[k] != b.OI[k] {
+				t.Fatal("clone predicts differently")
+			}
+		}
+	}
+}
+
+// TestWithClassifier: replacing the C-CLASSIFY calibration changes only
+// the existence rule; validation rejects a classifier with the wrong
+// event count and a nil one.
+func TestWithClassifier(t *testing.T) {
+	f := getFixture(t)
+	// A replacement calibrated on the same records is behaviorally
+	// identical; rebuild one from the calibration split.
+	calibB := make([][]float64, len(f.splits.CCalib))
+	calibL := make([][]bool, len(f.splits.CCalib))
+	for i, r := range f.splits.CCalib {
+		out := f.bundle.Model.Predict(r.X)
+		calibB[i] = append([]float64(nil), out.B...)
+		calibL[i] = r.Label
+	}
+	cls, err := conformal.NewClassifier(calibB, calibL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := f.bundle.WithClassifier(cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Classifier != cls {
+		t.Fatal("classifier not installed")
+	}
+	if nb.Model != f.bundle.Model || nb.Regressor != f.bundle.Regressor {
+		t.Fatal("WithClassifier must leave model and regressor shared")
+	}
+	for _, rec := range f.splits.Test[:25] {
+		a := f.bundle.EHCR(0.9, 0.9).Predict(rec)
+		b := nb.EHCR(0.9, 0.9).Predict(rec)
+		for k := range a.Occur {
+			if a.Occur[k] != b.Occur[k] {
+				t.Fatal("same-calibration replacement changed decisions")
+			}
+		}
+	}
+	if _, err := f.bundle.WithClassifier(nil); err == nil {
+		t.Fatal("expected error for nil classifier")
+	}
+	twoEv, err := conformal.NewClassifier(
+		[][]float64{{0.5, 0.5}}, [][]bool{{true, true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.bundle.WithClassifier(twoEv); err == nil {
+		t.Fatal("expected error for event-count mismatch")
+	}
+}
+
+// TestPredictScored: one forward pass yields both the EHCR decision and
+// the raw existence scores; the decision matches EHCR exactly and the
+// scores match a direct model readout, copied (not scratch-aliased).
+func TestPredictScored(t *testing.T) {
+	f := getFixture(t)
+	ehcr := f.bundle.EHCR(0.9, 0.9)
+	for _, rec := range f.splits.Test[:25] {
+		p, scores := f.bundle.PredictScored(rec, 0.9, 0.9)
+		want := ehcr.Predict(rec)
+		for k := range p.Occur {
+			if p.Occur[k] != want.Occur[k] || p.OI[k] != want.OI[k] {
+				t.Fatal("PredictScored decision differs from EHCR")
+			}
+		}
+		out := f.bundle.Model.Predict(rec.X)
+		if len(scores) != len(out.B) {
+			t.Fatalf("scores len %d, want %d", len(scores), len(out.B))
+		}
+		for k := range scores {
+			if scores[k] != out.B[k] {
+				t.Fatalf("score[%d] = %v, want %v", k, scores[k], out.B[k])
+			}
+		}
+	}
+	// The returned slice must be a copy: a second call may not clobber it.
+	_, s1 := f.bundle.PredictScored(f.splits.Test[0], 0.9, 0.9)
+	v := s1[0]
+	f.bundle.PredictScored(f.splits.Test[1], 0.9, 0.9)
+	if s1[0] != v {
+		t.Fatal("PredictScored aliased scratch")
 	}
 }

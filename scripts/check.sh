@@ -7,6 +7,9 @@
 #   race tests the whole suite under the race detector
 #   scrape     the /metrics + /v1/stats consistency tests under -race:
 #              concurrent scrapes while predicts relay to the CI
+#   swap       the hot-swap/adaptation gates under -race: predicts hammer
+#              the server while bundles swap, plus the induced-shift
+#              coverage-restoration scenario run twice for byte determinism
 #   fuzz seeds the checked-in fuzz corpora (testdata/fuzz/) executed as
 #              ordinary tests, no fuzzing engine; use
 #              `go test ./internal/serve/ -fuzz FuzzFrames` or
@@ -58,6 +61,9 @@ go test -shuffle=on ./...
 echo "== metrics scrape under load (race) =="
 go test -race ./internal/serve/ -run 'TestStatsConsistentUnderLoad|TestMetricsEndpoint' -count=1
 go test -race ./internal/obs/ -run 'TestConcurrentUpdatesAndScrapes' -count=1
+
+echo "== hot swap + online adaptation (race swap-under-load, coverage restoration, determinism) =="
+go test -race ./internal/serve/ -run 'TestSwapUnderConcurrentPredictLoad|TestAdaptationRestoresCoverage|TestAdaptationDeterministic' -count=1
 
 echo "== fuzz seed corpus (run mode) =="
 go test ./internal/serve/ -run 'Fuzz' -count=1
