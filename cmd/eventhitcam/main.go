@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,8 +40,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	ctx := context.Background()
 	c := serve.NewClient(*server, nil)
-	if !c.Healthy() {
+	if !c.Healthy(ctx) {
 		fatal(fmt.Errorf("server %s not healthy — is eventhitserve running?", *server))
 	}
 	window, horizon := t.Dataset.Window, t.Dataset.Horizon
@@ -52,14 +54,14 @@ func main() {
 		for ; frame < upto; frame++ {
 			batch = append(batch, ex.FrameVector(frame, nil))
 			if len(batch) == 256 {
-				if _, err := c.PushFrames(batch); err != nil {
+				if _, err := c.PushFrames(ctx, batch); err != nil {
 					return err
 				}
 				batch = batch[:0]
 			}
 		}
 		if len(batch) > 0 {
-			if _, err := c.PushFrames(batch); err != nil {
+			if _, err := c.PushFrames(ctx, batch); err != nil {
 				return err
 			}
 		}
@@ -70,7 +72,7 @@ func main() {
 		fatal(err)
 	}
 	for h := 0; h < *horizons && frame+horizon < st.N; h++ {
-		resp, err := c.Predict(*conf, *cov)
+		resp, err := c.Predict(ctx, *conf, *cov)
 		if err != nil {
 			fatal(err)
 		}
@@ -93,7 +95,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	stats, err := c.Stats()
+	stats, err := c.Stats(ctx)
 	if err != nil {
 		fatal(err)
 	}

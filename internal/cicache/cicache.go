@@ -407,21 +407,5 @@ func (c *Cache) Stats() Stats {
 // Register exposes the cache meters on reg as func-backed series: hit/miss
 // /eviction/insert counters plus live-entry and hit-ratio gauges.
 func (c *Cache) Register(reg *obs.Registry, labels obs.Labels) {
-	get := func(f func(Stats) float64) func() float64 {
-		return func() float64 { return f(c.Stats()) }
-	}
-	reg.CounterFunc("eventhit_cicache_hits_total", "CI relays answered from the result cache",
-		labels, get(func(s Stats) float64 { return float64(s.Hits) }))
-	reg.CounterFunc("eventhit_cicache_misses_total", "cache lookups that fell through to the CI",
-		labels, get(func(s Stats) float64 { return float64(s.Misses) }))
-	reg.CounterFunc("eventhit_cicache_evictions_total", "entries evicted by the LRU bound",
-		labels, get(func(s Stats) float64 { return float64(s.Evictions) }))
-	reg.CounterFunc("eventhit_cicache_expirations_total", "entries expired by the frame TTL",
-		labels, get(func(s Stats) float64 { return float64(s.Expirations) }))
-	reg.CounterFunc("eventhit_cicache_inserts_total", "verdicts admitted to the cache",
-		labels, get(func(s Stats) float64 { return float64(s.Inserts) }))
-	reg.GaugeFunc("eventhit_cicache_entries", "live cache entries",
-		labels, get(func(s Stats) float64 { return float64(s.Entries) }))
-	reg.GaugeFunc("eventhit_cicache_hit_ratio", "hits / lookups since start",
-		labels, get(func(s Stats) float64 { return s.HitRatio() }))
+	RegisterStats(reg, labels, c.Stats)
 }

@@ -39,7 +39,7 @@ type Savings struct {
 // use; under a serial call sequence every meter is deterministic.
 type CachedBackend struct {
 	inner       Backend
-	cache       *cicache.Cache
+	cache       cicache.Remote
 	perFrameUSD float64
 
 	mu          sync.Mutex
@@ -47,9 +47,11 @@ type CachedBackend struct {
 	savedFrames int64
 }
 
-// NewCachedBackend wraps inner with cache. perFrameUSD values the savings
-// meter; PerFrameUSDOf(inner) recovers it from pricing-aware backends.
-func NewCachedBackend(inner Backend, cache *cicache.Cache, perFrameUSD float64) *CachedBackend {
+// NewCachedBackend wraps inner with cache — a local *cicache.Cache or any
+// cicache.Remote (the cluster tier's coordinator-hosted cache). perFrameUSD
+// values the savings meter; PerFrameUSDOf(inner) recovers it from
+// pricing-aware backends.
+func NewCachedBackend(inner Backend, cache cicache.Remote, perFrameUSD float64) *CachedBackend {
 	return &CachedBackend{inner: inner, cache: cache, perFrameUSD: perFrameUSD}
 }
 
@@ -63,7 +65,7 @@ func PerFrameUSDOf(b Backend) float64 {
 }
 
 // Cache returns the underlying result cache (for stats and registration).
-func (b *CachedBackend) Cache() *cicache.Cache { return b.cache }
+func (b *CachedBackend) Cache() cicache.Remote { return b.cache }
 
 // Savings returns the realized savings meter.
 func (b *CachedBackend) Savings() Savings {

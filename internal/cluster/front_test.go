@@ -1,0 +1,449 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"eventhit/internal/core"
+	"eventhit/internal/dataset"
+	"eventhit/internal/features"
+	"eventhit/internal/mathx"
+	"eventhit/internal/serve"
+	"eventhit/internal/strategy"
+	"eventhit/internal/video"
+)
+
+var tctx = context.Background()
+
+// clusterBundle is one small trained bundle shared across the cluster
+// tests — the same recipe the serve package trains for itself (test
+// fixtures don't cross package boundaries).
+type clusterBundle struct {
+	b  *strategy.Bundle
+	ex *features.Extractor
+	st *video.Stream
+}
+
+var (
+	cbOnce sync.Once
+	cbFx   *clusterBundle
+)
+
+func getClusterBundle(t testing.TB) *clusterBundle {
+	t.Helper()
+	cbOnce.Do(func() {
+		st := video.Generate(video.THUMOS(), mathx.NewRNG(1))
+		ex, err := features.NewExtractor(st, []int{0}, features.DefaultDetector(), 1)
+		if err != nil {
+			panic(err)
+		}
+		splits, err := dataset.Build(ex, dataset.SampleConfig{
+			Config: dataset.Config{Window: 10, Horizon: 200},
+			NTrain: 300, NCCalib: 200, NRCalib: 150, NTest: 10,
+			TrainPosFrac: 0.5,
+		}, mathx.NewRNG(2))
+		if err != nil {
+			panic(err)
+		}
+		m, err := core.New(core.DefaultConfig(ex.Dim(), 10, 200, 1))
+		if err != nil {
+			panic(err)
+		}
+		tc := core.DefaultTrainConfig()
+		tc.Epochs = 6
+		if _, err := m.Train(splits.Train, tc); err != nil {
+			panic(err)
+		}
+		b, err := strategy.Calibrate(m, splits.CCalib, splits.RCalib)
+		if err != nil {
+			panic(err)
+		}
+		cbFx = &clusterBundle{b: b, ex: ex, st: st}
+	})
+	return cbFx
+}
+
+func baseServeConfig(bw *clusterBundle) serve.Config {
+	return serve.Config{
+		Bundle:            bw.b,
+		EventNames:        []string{"Volleyball Spiking"},
+		PerFrameUSD:       0.001,
+		DefaultConfidence: 0.9,
+		DefaultCoverage:   0.9,
+	}
+}
+
+// frontFixture is a two-worker cluster behind one front, with a budget
+// coordinator on the side.
+type frontFixture struct {
+	front   *Front
+	frontTS *httptest.Server
+	coordTS *httptest.Server
+	workers []*Worker
+	urls    []string
+}
+
+func newFrontFixture(t *testing.T, nWorkers int) *frontFixture {
+	t.Helper()
+	bw := getClusterBundle(t)
+	coord, err := NewCoordinator(CoordinatorConfig{BudgetUSD: 1, PerFrameUSD: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordTS := httptest.NewServer(coord)
+	t.Cleanup(coordTS.Close)
+
+	fx := &frontFixture{coordTS: coordTS}
+	var refs []WorkerRef
+	for i := 0; i < nWorkers; i++ {
+		id := fmt.Sprintf("worker-%d", i)
+		w, err := NewWorker(WorkerConfig{ID: id, Coordinator: coordTS.URL, Serve: baseServeConfig(bw)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		url, err := w.Start("127.0.0.1:0", coordTS.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Close)
+		fx.workers = append(fx.workers, w)
+		fx.urls = append(fx.urls, url)
+		refs = append(refs, WorkerRef{ID: id, URL: url})
+	}
+	front, err := NewFront(FrontConfig{Workers: refs, Coordinator: coordTS.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.front = front
+	fx.frontTS = httptest.NewServer(front)
+	t.Cleanup(fx.frontTS.Close)
+	return fx
+}
+
+// TestFrontRoutesAndProxies is the front's core contract: sessions created
+// through the front spread over the workers by consistent hashing, every
+// session lands exactly where RouteFor says, and the frames/predict data
+// path proxied through the front behaves like a direct serve connection.
+func TestFrontRoutesAndProxies(t *testing.T) {
+	fx := newFrontFixture(t, 2)
+	bw := getClusterBundle(t)
+	fc := serve.NewClient(fx.frontTS.URL, fx.frontTS.Client())
+
+	// Create sessions through the front (server-generated IDs).
+	var ids []string
+	for i := 0; i < 32; i++ {
+		id, err := fc.CreateSession(tctx, "", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	// Every session must live on exactly the worker its ID hashes to.
+	placed := make(map[string]map[string]bool, len(fx.workers)) // workerID -> session set
+	for i, w := range fx.workers {
+		wc := serve.NewClient(fx.urls[i], nil)
+		list, err := wc.Sessions(tctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		placed[w.ID] = make(map[string]bool)
+		for _, si := range list {
+			placed[w.ID][si.ID] = true
+		}
+	}
+	perWorker := make(map[string]int)
+	for _, id := range ids {
+		wr, ok := fx.front.RouteFor(id)
+		if !ok {
+			t.Fatalf("no route for %s", id)
+		}
+		if !placed[wr.ID][id] {
+			t.Fatalf("session %s routed to %s but not found there", id, wr.ID)
+		}
+		perWorker[wr.ID]++
+	}
+	if len(perWorker) != 2 {
+		t.Fatalf("32 sessions all landed on one worker: %v", perWorker)
+	}
+
+	// Data path through the front: fill one session's window and predict.
+	id := ids[0]
+	frames := make([][]float64, 10)
+	for i := range frames {
+		frames[i] = bw.ex.FrameVector(1000+i, nil)
+	}
+	if _, err := fc.PushFramesSession(tctx, id, frames); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := fc.PredictSession(tctx, id, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Anchor != 9 || len(resp.Decisions) != 1 {
+		t.Fatalf("proxied predict = %+v", resp)
+	}
+
+	// Unknown-session errors pass through verbatim.
+	if _, err := fc.PredictSession(tctx, "no-such-session", 0, 0); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown session through front: %v", err)
+	}
+
+	// The front counted its proxying per worker.
+	routed := fx.front.Routed()
+	total := int64(0)
+	for _, n := range routed {
+		total += n
+	}
+	// 32 creates + 1 frames + 2 predicts.
+	if total != 35 {
+		t.Fatalf("routed %v (total %d), want 35 proxied requests", routed, total)
+	}
+}
+
+// TestFrontSessionListAndStats: the fan-out surfaces — the merged session
+// list hides per-worker default sessions, and /v1/stats totals are the sum
+// of the workers' counters.
+func TestFrontSessionListAndStats(t *testing.T) {
+	fx := newFrontFixture(t, 2)
+	bw := getClusterBundle(t)
+	fc := serve.NewClient(fx.frontTS.URL, fx.frontTS.Client())
+
+	var ids []string
+	for i := 0; i < 6; i++ {
+		id, err := fc.CreateSession(tctx, "", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	frames := make([][]float64, 10)
+	for i := range frames {
+		frames[i] = bw.ex.FrameVector(2000+i, nil)
+	}
+	for _, id := range ids {
+		if _, err := fc.PushFramesSession(tctx, id, frames); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fc.PredictSession(tctx, id, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	list, err := fc.Sessions(tctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != len(ids) {
+		t.Fatalf("merged session list has %d entries, want %d: %+v", len(list), len(ids), list)
+	}
+	for _, si := range list {
+		if si.ID == serve.DefaultSession {
+			t.Fatal("merged list leaked a worker default session")
+		}
+	}
+
+	cs := fx.front.Stats()
+	if cs.Workers != 2 {
+		t.Fatalf("stats sees %d workers", cs.Workers)
+	}
+	var sumPred int64
+	var sumFrames int
+	for _, ws := range cs.PerWorker {
+		if ws.Err != "" {
+			t.Fatalf("worker %s stats error: %s", ws.ID, ws.Err)
+		}
+		sumPred += ws.Stats.Predictions
+		sumFrames += ws.Stats.FramesIngested
+	}
+	if cs.Totals.Predictions != sumPred || cs.Totals.Predictions != int64(len(ids)) {
+		t.Fatalf("total predictions %d, per-worker sum %d, want %d", cs.Totals.Predictions, sumPred, len(ids))
+	}
+	if cs.Totals.FramesIngested != sumFrames {
+		t.Fatalf("total frames %d != sum %d", cs.Totals.FramesIngested, sumFrames)
+	}
+	// Each worker's default session counts toward its Sessions gauge.
+	if cs.Totals.Sessions != len(ids)+2 {
+		t.Fatalf("total sessions %d, want %d routed + 2 defaults", cs.Totals.Sessions, len(ids))
+	}
+
+	// The same body over HTTP.
+	var over ClusterStats
+	resp, err := fx.frontTS.Client().Get(fx.frontTS.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&over); err != nil {
+		t.Fatal(err)
+	}
+	if over.Totals.Predictions != cs.Totals.Predictions {
+		t.Fatalf("HTTP stats disagree with direct: %d vs %d", over.Totals.Predictions, cs.Totals.Predictions)
+	}
+}
+
+// TestFrontModelBroadcast: POST /v1/model through the front lands the
+// bundle on every worker and reports per-worker outcomes.
+func TestFrontModelBroadcast(t *testing.T) {
+	fx := newFrontFixture(t, 2)
+	bw := getClusterBundle(t)
+	var buf bytes.Buffer
+	if err := bw.b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := fx.frontTS.Client().Post(fx.frontTS.URL+"/v1/model", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("broadcast -> %d: %s", resp.StatusCode, b)
+	}
+	var results []struct {
+		ID     string `json:"id"`
+		Status int    `json:"status"`
+		Err    string `json:"err"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("broadcast reported %d workers", len(results))
+	}
+	for _, pr := range results {
+		if pr.Status != http.StatusOK {
+			t.Fatalf("worker %s rejected broadcast: %d %s", pr.ID, pr.Status, pr.Err)
+		}
+	}
+	for i := range fx.workers {
+		st, err := serve.NewClient(fx.urls[i], nil).Stats(tctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.AdminSwaps != 1 || st.ModelGeneration == 0 {
+			t.Fatalf("worker %d did not swap: %+v", i, st)
+		}
+	}
+}
+
+// TestFrontReadyz: the front is ready only when EVERY worker is; one
+// draining worker flips the whole cluster to 503 with the worker named.
+func TestFrontReadyz(t *testing.T) {
+	fx := newFrontFixture(t, 2)
+	get := func() (int, struct {
+		Ready   bool          `json:"ready"`
+		Workers []WorkerReady `json:"workers"`
+	}) {
+		var body struct {
+			Ready   bool          `json:"ready"`
+			Workers []WorkerReady `json:"workers"`
+		}
+		resp, err := fx.frontTS.Client().Get(fx.frontTS.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+	if code, body := get(); code != http.StatusOK || !body.Ready || len(body.Workers) != 2 {
+		t.Fatalf("healthy cluster readyz = %d %+v", code, body)
+	}
+	fx.workers[1].Server().SetDraining(true)
+	code, body := get()
+	if code != http.StatusServiceUnavailable || body.Ready {
+		t.Fatalf("draining worker left cluster ready: %d %+v", code, body)
+	}
+	found := false
+	for _, ws := range body.Workers {
+		if ws.ID == fx.workers[1].ID && !ws.Ready {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("draining worker not identified in %+v", body.Workers)
+	}
+	fx.workers[1].Server().SetDraining(false)
+	if code, _ := get(); code != http.StatusOK {
+		t.Fatalf("cluster not ready after drain cleared: %d", code)
+	}
+}
+
+// TestFrontMetricsAndBudget: the front's /metrics aggregates worker
+// counters under cluster families, and /v1/cluster/budget proxies the
+// coordinator ledger.
+func TestFrontMetricsAndBudget(t *testing.T) {
+	fx := newFrontFixture(t, 2)
+	resp, err := fx.frontTS.Client().Get(fx.frontTS.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"eventhit_cluster_workers 2",
+		"eventhit_cluster_workers_ready 2",
+		"eventhit_cluster_predictions_total",
+		"eventhit_cluster_estimated_usd",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Fatalf("front metrics missing %q:\n%s", want, text)
+		}
+	}
+	var bs BudgetStatus
+	resp, err = fx.frontTS.Client().Get(fx.frontTS.URL + "/v1/cluster/budget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&bs); err != nil {
+		t.Fatal(err)
+	}
+	if bs.BudgetUSD != 1 || bs.MaxFrames <= 0 {
+		t.Fatalf("budget passthrough = %+v", bs)
+	}
+}
+
+// TestFrontRingChange: removing a worker re-routes only its sessions'
+// hashes; AddWorker restores the original routing exactly.
+func TestFrontRingChange(t *testing.T) {
+	fx := newFrontFixture(t, 2)
+	before := make(map[string]string)
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("s-%06d", i)
+		wr, _ := fx.front.RouteFor(id)
+		before[id] = wr.ID
+	}
+	gone := fx.workers[1].ID
+	fx.front.RemoveWorker(gone)
+	for id, prev := range before {
+		wr, ok := fx.front.RouteFor(id)
+		if !ok {
+			t.Fatalf("no route for %s after removal", id)
+		}
+		if prev != gone && wr.ID != prev {
+			t.Fatalf("session %s moved %s -> %s though its worker stayed", id, prev, wr.ID)
+		}
+		if prev == gone && wr.ID == gone {
+			t.Fatalf("session %s still routes to removed worker", id)
+		}
+	}
+	fx.front.AddWorker(WorkerRef{ID: gone, URL: fx.urls[1]})
+	for id, prev := range before {
+		wr, _ := fx.front.RouteFor(id)
+		if wr.ID != prev {
+			t.Fatalf("routing not restored for %s: %s vs %s", id, wr.ID, prev)
+		}
+	}
+}

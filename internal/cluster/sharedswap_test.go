@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"eventhit/internal/cloud"
+	"eventhit/internal/features"
+	"eventhit/internal/serve"
+)
+
+// TestSharedSwapPropagatesAcrossWorkers is the fleet-wide shared-swap
+// scenario: two workers on one coordinator each hold sessions tagged with
+// the same scene key. An induced covariate shift drives the origin session
+// on worker A through drift detection into a recalibration swap; the fresh
+// classifier must then reach (1) the sibling session on the SAME worker,
+// via direct adoption, and (2) the sibling on worker B, via
+// SwapPublisher -> coordinator -> adopt fan-out — before the triggering
+// predict response is even written. Untagged sessions stay untouched.
+func TestSharedSwapPropagatesAcrossWorkers(t *testing.T) {
+	bw := getClusterBundle(t)
+	coord, err := NewCoordinator(CoordinatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordTS := httptest.NewServer(coord)
+	t.Cleanup(coordTS.Close)
+	coordURL := coordTS.URL
+
+	// Worker A owns the CI relay with adaptation on — the same induced-shift
+	// recipe the serve package's adaptation acceptance test uses: clean
+	// detector until the switch frame, then 90% misses and washed-out cues.
+	const switchFrame = 20000
+	clean := features.DefaultDetector()
+	degraded := features.DetectorConfig{
+		Jitter:   clean.Jitter,
+		MissRate: 0.9,
+		FPRate:   clean.FPRate,
+		CueGain:  0.25,
+	}
+	ex, err := features.NewDriftingExtractor(bw.st, []int{0}, clean, degraded, switchFrame, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgA := baseServeConfig(bw)
+	cfgA.CI = cloud.NewService(bw.st, cloud.RekognitionPricing(), cloud.DefaultLatency())
+	cfgA.Adapt = &serve.AdaptConfig{
+		MonitorWindow: 20,
+		MonitorDelta:  0.05,
+		BufferCap:     512,
+		MinFresh:      30,
+		AuditRate:     1,
+	}
+	wA, err := NewWorker(WorkerConfig{ID: "worker-a", Coordinator: coordURL, Serve: cfgA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	urlA, err := wA.Start("127.0.0.1:0", coordURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(wA.Close)
+
+	wB, err := NewWorker(WorkerConfig{ID: "worker-b", Coordinator: coordURL, Serve: baseServeConfig(bw)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	urlB, err := wB.Start("127.0.0.1:0", coordURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(wB.Close)
+
+	cA := serve.NewClient(urlA, nil)
+	cB := serve.NewClient(urlB, nil)
+
+	const scene = "lot-7"
+	mustCreate := func(c *serve.Client, id, scene string) {
+		t.Helper()
+		if _, err := c.CreateSession(tctx, id, scene); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCreate(cA, "origin", scene)
+	mustCreate(cA, "sib-a", scene)
+	mustCreate(cB, "sib-b", scene)
+	mustCreate(cB, "untagged", "")
+
+	// Drive the origin session through the shift. advance keeps the
+	// session's absolute frame counter aligned with stream truth so relays
+	// and audits observe real outcomes.
+	next := 0
+	advance := func(to int) {
+		t.Helper()
+		for next <= to {
+			hi := next + serve.MaxFramesPerPush - 1
+			if hi > to {
+				hi = to
+			}
+			frames := make([][]float64, 0, hi-next+1)
+			for f := next; f <= hi; f++ {
+				frames = append(frames, ex.FrameVector(f, nil))
+			}
+			if _, err := cA.PushFramesSession(tctx, "origin", frames); err != nil {
+				t.Fatal(err)
+			}
+			next = hi + 1
+		}
+	}
+	predict := func() {
+		t.Helper()
+		advance(next - 1 + 50)
+		if _, err := cA.PredictSession(tctx, "origin", 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Short clean phase to seed the monitor, then jump past the shift and
+	// predict until the recalibration swap lands.
+	advance(999)
+	for i := 0; i < 30; i++ {
+		predict()
+	}
+	stA, err := cA.Stats(tctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stA.RecalibrationSwaps != 0 || stA.SharedSwapsPublished != 0 {
+		t.Fatalf("clean phase already swapped: %+v", stA)
+	}
+	advance(switchFrame + 149)
+	swapped := false
+	for i := 0; i < 250 && !swapped; i++ {
+		predict()
+		if stA, err = cA.Stats(tctx); err != nil {
+			t.Fatal(err)
+		}
+		swapped = stA.RecalibrationSwaps > 0
+	}
+	if !swapped {
+		t.Fatalf("no recalibration swap within 250 post-shift anchors: %+v", stA)
+	}
+
+	// Worker A published exactly the swaps it cut, and its local sibling
+	// adopted (origin itself is excluded from the adoption count).
+	if stA.SharedSwapsPublished != stA.RecalibrationSwaps {
+		t.Fatalf("worker A published %d of %d recalibrations", stA.SharedSwapsPublished, stA.RecalibrationSwaps)
+	}
+	if stA.SharedSwapAdoptions < 1 {
+		t.Fatalf("local sibling did not adopt: %+v", stA)
+	}
+
+	// Worker B heard about it through the coordinator: its scene sibling
+	// adopted, the untagged session did not. The publish happens before the
+	// predict response is written, so no settling wait is needed.
+	stB, err := cB.Stats(tctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stB.SharedSwapAdoptions < 1 {
+		t.Fatalf("worker B never adopted the shared swap: %+v", stB)
+	}
+	if stB.SharedSwapsPublished != 0 || stB.RecalibrationSwaps != 0 {
+		t.Fatalf("worker B cut swaps of its own: %+v", stB)
+	}
+	listB, err := cB.Sessions(tctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, si := range listB {
+		switch si.ID {
+		case "sib-b":
+			if si.SharedAdoptions < 1 {
+				t.Fatalf("sib-b did not adopt: %+v", si)
+			}
+		case "untagged":
+			if si.SharedAdoptions != 0 {
+				t.Fatalf("untagged session adopted a scene swap: %+v", si)
+			}
+		}
+	}
+	// Per-session accounting on A: sib-a adopted, origin did not (it owns
+	// the recalibration).
+	listA, err := cA.Sessions(tctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, si := range listA {
+		switch si.ID {
+		case "sib-a":
+			if si.SharedAdoptions < 1 {
+				t.Fatalf("sib-a did not adopt: %+v", si)
+			}
+		case "origin":
+			if si.SharedAdoptions != 0 {
+				t.Fatalf("origin counted its own swap as adoption: %+v", si)
+			}
+		}
+	}
+}

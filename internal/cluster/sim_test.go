@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"eventhit/internal/cicache"
+	"eventhit/internal/dataset"
+	"eventhit/internal/features"
+	"eventhit/internal/fleet"
+	"eventhit/internal/mathx"
+	"eventhit/internal/pipeline"
+	"eventhit/internal/strategy"
+	"eventhit/internal/video"
+)
+
+// simStream builds one cheap fleet stream (OPT strategy reads ground
+// truth, so no training) — the same recipe the fleet package tests use.
+func simStream(t testing.TB, id string, seed int64, end int) fleet.Stream {
+	t.Helper()
+	st := video.Generate(video.THUMOS(), mathx.NewRNG(seed))
+	ex, err := features.NewExtractor(st, []int{0}, features.DefaultDetector(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dataset.Config{Window: 10, Horizon: 200}
+	return fleet.Stream{
+		ID:       id,
+		Source:   ex,
+		Strategy: strategy.Opt{},
+		Cfg:      cfg,
+		Costs:    pipeline.EventHitCosts(cfg.Window),
+		Start:    0,
+		End:      end,
+	}
+}
+
+func simStreams(t testing.TB, n, end int) []fleet.Stream {
+	out := make([]fleet.Stream, n)
+	for i := range out {
+		out[i] = simStream(t, fmt.Sprintf("cam-%02d", i), int64(i+1), end)
+	}
+	return out
+}
+
+func simConfig() fleet.Config {
+	cfg := fleet.DefaultConfig()
+	cfg.StreamRatePerSec = 400
+	cfg.StreamBurst = 2000
+	cfg.GlobalBudgetUSD = 5
+	return cfg
+}
+
+// TestRunSimByteIdenticalToFleetRun is the tier's determinism bar: the
+// sharded run — timelines computed in worker HTTP servers, shipped back as
+// JSON, arbitrated centrally — produces a byte-identical report and metrics
+// digest to single-process fleet.Run, at every worker count.
+func TestRunSimByteIdenticalToFleetRun(t *testing.T) {
+	const nStreams, end = 4, 20_000
+	baselineRep, err := fleet.Run(simStreams(t, nStreams, end), simConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := json.Marshal(baselineRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseMetrics := baselineRep.MetricsSummary()
+
+	for _, workers := range []int{1, 2, 3} {
+		res, err := RunSim(simStreams(t, nStreams, end), simConfig(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(res.Report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(baseline, got) {
+			t.Fatalf("report differs at %d workers:\n base: %s\n got:  %s", workers, baseline, got)
+		}
+		if !reflect.DeepEqual(baseMetrics, res.Report.MetricsSummary()) {
+			t.Fatalf("metrics digest differs at %d workers", workers)
+		}
+	}
+}
+
+// TestRunSimByteIdenticalWithSharedCache repeats the identity check with
+// the ε=0 shared result cache on: cache consultation happens in the serial
+// phase, so sharding must not perturb it either.
+func TestRunSimByteIdenticalWithSharedCache(t *testing.T) {
+	cfg := simConfig()
+	cc := cicache.DefaultConfig()
+	cfg.Cache = &cc
+
+	// Twin streams (same seed) so the cache actually fires.
+	mk := func() []fleet.Stream {
+		return []fleet.Stream{
+			simStream(t, "cam-a", 7, 15_000),
+			simStream(t, "cam-b", 7, 15_000),
+			simStream(t, "cam-c", 3, 15_000),
+		}
+	}
+	baseRep, err := fleet.Run(mk(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseRep.CacheHits == 0 {
+		t.Fatal("twin streams produced no cache hits — fixture broken")
+	}
+	base, _ := json.Marshal(baseRep)
+	res, err := RunSim(mk(), cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := json.Marshal(res.Report)
+	if !bytes.Equal(base, got) {
+		t.Fatalf("cached report differs under sharding:\n base: %s\n got:  %s", base, got)
+	}
+}
+
+// TestRunSimCapacityScales: with balanced sharding, the makespan at W
+// workers is ~1/W of the single-worker makespan, so capacity scales
+// near-linearly — the BENCH_cluster claim in miniature.
+func TestRunSimCapacityScales(t *testing.T) {
+	streams := simStreams(t, 4, 20_000)
+	r1, err := RunSim(streams, simConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := RunSim(streams, simConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r4.BusyMS) != 4 {
+		t.Fatalf("4-worker run used %d workers", len(r4.BusyMS))
+	}
+	speedup := r1.MakespanMS / r4.MakespanMS
+	if speedup < 3 {
+		t.Fatalf("speedup 1->4 workers = %.2f, want >= 3 (busy %v)", speedup, r4.BusyMS)
+	}
+	if r4.CapacityFPS <= r1.CapacityFPS {
+		t.Fatalf("capacity did not scale: 1w %.0f fps, 4w %.0f fps", r1.CapacityFPS, r4.CapacityFPS)
+	}
+	if r1.TotalFrames != r4.TotalFrames {
+		t.Fatalf("frame totals differ: %d vs %d", r1.TotalFrames, r4.TotalFrames)
+	}
+}
+
+// TestRunSimValidation: bad inputs fail fast.
+func TestRunSimValidation(t *testing.T) {
+	if _, err := RunSim(nil, simConfig(), 2); err == nil {
+		t.Fatal("expected error for no streams")
+	}
+	s := simStream(t, "a", 1, 5_000)
+	if _, err := RunSim([]fleet.Stream{s}, simConfig(), 0); err == nil {
+		t.Fatal("expected error for 0 workers")
+	}
+	dup := []fleet.Stream{s, s}
+	if _, err := RunSim(dup, simConfig(), 2); err == nil {
+		t.Fatal("expected error for duplicate IDs")
+	}
+}
+
+// TestWireTimelineRoundTrip: the transport form preserves everything the
+// arbitration and scoring read, exactly.
+func TestWireTimelineRoundTrip(t *testing.T) {
+	s := simStream(t, "a", 5, 10_000)
+	m, err := pipeline.New(s.Source, s.Strategy, nil, s.Cfg, s.Costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := m.Collect(s.Start, s.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(toWire("a", tl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w WireTimeline
+	if err := json.Unmarshal(b, &w); err != nil {
+		t.Fatal(err)
+	}
+	got := fromWire(w)
+	if !reflect.DeepEqual(got.Requests, tl.Requests) {
+		t.Fatal("requests did not round-trip")
+	}
+	if !reflect.DeepEqual(got.Preds, tl.Preds) {
+		t.Fatal("preds did not round-trip")
+	}
+	if got.Horizons != tl.Horizons || got.Frames != tl.Frames || got.ScanMS != tl.ScanMS || got.PredMS != tl.PredMS {
+		t.Fatal("scalars did not round-trip")
+	}
+	if len(got.Records) != len(tl.Records) {
+		t.Fatal("record count changed")
+	}
+	for i := range got.Records {
+		if !reflect.DeepEqual(got.Records[i].Label, tl.Records[i].Label) ||
+			!reflect.DeepEqual(got.Records[i].OI, tl.Records[i].OI) {
+			t.Fatalf("record %d labels/OI did not round-trip", i)
+		}
+	}
+}

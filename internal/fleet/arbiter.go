@@ -17,23 +17,59 @@ import (
 // request, the HTTP response is waiting). Deferred relays reuse graceful
 // degradation: the decision is still served, no frames reach the CI.
 
+// BudgetLease is the coordinator-side source of global budget headroom for
+// a lease-gated arbiter (cluster worker mode). Acquire asks for up to
+// frames more billed-frame headroom and returns how many frames were
+// actually granted — possibly 0 when the global cap is exhausted; Return
+// hands unused headroom back (the drain path). Because both directions
+// move integer frames and the coordinator prices its cap with the same
+// single-multiply arithmetic as the local check, the sum of all workers'
+// admitted spend can never overshoot the cap, no matter how concurrently
+// they bill. Implementations must be safe for concurrent use.
+type BudgetLease interface {
+	Acquire(frames int) int
+	Return(frames int)
+}
+
+// DefaultLeaseChunkFrames is the lease refill chunk when
+// ArbiterConfig.LeaseChunkFrames is 0: large enough that a busy worker is
+// not round-tripping to the coordinator per relay, small enough that idle
+// workers do not park the whole budget.
+const DefaultLeaseChunkFrames = 1024
+
 // ArbiterConfig parametrizes live admission control.
 type ArbiterConfig struct {
 	// PerFrameUSD prices admitted frames for the spend cap.
 	PerFrameUSD float64
-	// GlobalBudgetUSD caps total admitted spend; 0 means uncapped.
+	// GlobalBudgetUSD caps total admitted spend; 0 means uncapped. Ignored
+	// when Lease is set — the coordinator owns the cap then.
 	GlobalBudgetUSD float64
 	// SessionRatePerSec and SessionBurst configure each session's token
 	// bucket in frames (wall-clock refill). Rate <= 0 disables per-session
 	// metering.
 	SessionRatePerSec float64
 	SessionBurst      float64
+	// Lease, when non-nil, replaces the local GlobalBudgetUSD check with
+	// coordinator-leased headroom: admission draws integer frames from a
+	// locally held lease, refilled in LeaseChunkFrames chunks through
+	// Lease.Acquire. A relay that cannot be covered even after a refill is
+	// deferred (DeferBudget). Acquire runs under the arbiter lock, so a
+	// slow lease backend stalls this worker's admissions, never its
+	// correctness.
+	Lease BudgetLease `json:"-"`
+	// LeaseChunkFrames is the refill chunk requested from Lease; 0 uses
+	// DefaultLeaseChunkFrames. A relay larger than the chunk requests its
+	// exact shortfall instead.
+	LeaseChunkFrames int
 }
 
 // Validate rejects malformed configurations.
 func (c ArbiterConfig) Validate() error {
 	if c.PerFrameUSD < 0 || c.GlobalBudgetUSD < 0 || c.SessionRatePerSec < 0 || c.SessionBurst < 0 {
 		return fmt.Errorf("fleet: negative arbiter knob in %+v", c)
+	}
+	if c.LeaseChunkFrames < 0 {
+		return fmt.Errorf("fleet: negative LeaseChunkFrames %d", c.LeaseChunkFrames)
 	}
 	return nil
 }
@@ -62,7 +98,9 @@ func (v Verdict) String() string {
 	return fmt.Sprintf("verdict(%d)", int(v))
 }
 
-// ArbiterStats is a snapshot of the admission counters.
+// ArbiterStats is a snapshot of the admission counters. The Lease* fields
+// are zero without a lease: LeasedFrames is the total headroom ever granted
+// by the coordinator, LeaseHeldFrames the granted-but-unspent remainder.
 type ArbiterStats struct {
 	Admitted        int64   `json:"admitted"`
 	DeferredRate    int64   `json:"deferredRate"`
@@ -71,6 +109,8 @@ type ArbiterStats struct {
 	AdmittedUSD     float64 `json:"admittedUSD"`
 	GlobalBudgetUSD float64 `json:"globalBudgetUSD"`
 	Sessions        int     `json:"sessions"`
+	LeasedFrames    int64   `json:"leasedFrames"`
+	LeaseHeldFrames int64   `json:"leaseHeldFrames"`
 }
 
 // Arbiter is safe for concurrent use.
@@ -81,6 +121,9 @@ type Arbiter struct {
 	mu      sync.Mutex
 	buckets map[string]*tokenBucket
 	stats   ArbiterStats
+	// leaseHeld is the granted-but-unspent lease headroom in frames
+	// (lease-gated mode only).
+	leaseHeld int64
 }
 
 // NewArbiter returns an arbiter on the wall clock.
@@ -106,12 +149,38 @@ func (a *Arbiter) Admit(session string, frames int) Verdict {
 	nowMS := a.now()
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	// The cap is checked on the billed frame count with a single multiply:
-	// accumulating per-relay costs drifts past the cap by float error.
-	wouldSpend := float64(a.stats.AdmittedFrames+int64(frames)) * a.cfg.PerFrameUSD
-	if a.cfg.GlobalBudgetUSD > 0 && wouldSpend > a.cfg.GlobalBudgetUSD {
-		a.stats.DeferredBudget++
-		return DeferBudget
+	if a.cfg.Lease != nil {
+		// Lease-gated mode: the budget lives at the coordinator. Top the
+		// local lease up by at least one chunk when it cannot cover this
+		// relay; if even the refilled lease falls short, the cap is
+		// exhausted cluster-wide and the relay defers. Headroom acquired
+		// for a relay that then fails the rate bucket stays held — leased,
+		// not spent — and covers the next admission.
+		if int64(frames) > a.leaseHeld {
+			chunk := a.cfg.LeaseChunkFrames
+			if chunk <= 0 {
+				chunk = DefaultLeaseChunkFrames
+			}
+			if need := int64(frames) - a.leaseHeld; int64(chunk) < need {
+				chunk = int(need)
+			}
+			granted := int64(a.cfg.Lease.Acquire(chunk))
+			a.leaseHeld += granted
+			a.stats.LeasedFrames += granted
+		}
+		if int64(frames) > a.leaseHeld {
+			a.stats.DeferredBudget++
+			return DeferBudget
+		}
+	} else {
+		// The cap is checked on the billed frame count with a single
+		// multiply: accumulating per-relay costs drifts past the cap by
+		// float error.
+		wouldSpend := float64(a.stats.AdmittedFrames+int64(frames)) * a.cfg.PerFrameUSD
+		if a.cfg.GlobalBudgetUSD > 0 && wouldSpend > a.cfg.GlobalBudgetUSD {
+			a.stats.DeferredBudget++
+			return DeferBudget
+		}
 	}
 	b, ok := a.buckets[session]
 	if !ok {
@@ -123,10 +192,31 @@ func (a *Arbiter) Admit(session string, frames int) Verdict {
 		a.stats.DeferredRate++
 		return DeferRate
 	}
+	if a.cfg.Lease != nil {
+		a.leaseHeld -= int64(frames)
+	}
 	a.stats.Admitted++
 	a.stats.AdmittedFrames += int64(frames)
 	a.stats.AdmittedUSD = float64(a.stats.AdmittedFrames) * a.cfg.PerFrameUSD
 	return Admit
+}
+
+// ReturnLease hands every locally held, unspent leased frame back to the
+// coordinator — the drain/shutdown path, so a stopping worker's parked
+// headroom becomes available to its siblings. Returns the frame count
+// returned; a no-op (0) without a lease.
+func (a *Arbiter) ReturnLease() int {
+	a.mu.Lock()
+	held := a.leaseHeld
+	a.leaseHeld = 0
+	a.mu.Unlock()
+	if a.cfg.Lease == nil || held <= 0 {
+		return 0
+	}
+	// The HTTP round trip happens outside the lock: a slow coordinator must
+	// not stall concurrent admissions (which now correctly see zero held).
+	a.cfg.Lease.Return(int(held))
+	return int(held)
 }
 
 // Release forgets a session's token bucket (the session was deleted). The
@@ -149,6 +239,7 @@ func (a *Arbiter) Stats() ArbiterStats {
 	defer a.mu.Unlock()
 	s := a.stats
 	s.GlobalBudgetUSD = a.cfg.GlobalBudgetUSD
+	s.LeaseHeldFrames = a.leaseHeld
 	return s
 }
 

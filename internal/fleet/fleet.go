@@ -234,6 +234,24 @@ func (r *Report) MetricsSummary() map[string]float64 {
 	return out
 }
 
+// TimelineStream is one stream whose phase-A timeline has already been
+// computed — possibly on another process. The cluster tier's workers
+// compute timelines remotely and ship them back over HTTP; the front then
+// feeds them through RunTimelines, the exact serial arbitration fleet.Run
+// uses, which is what makes a distributed simulated run byte-identical to
+// the single-process one.
+type TimelineStream struct {
+	// ID labels the stream in reports and metrics.
+	ID string
+	// Svc is the stream's oracle CI backend (bad-hit auditing peeks at
+	// ground truth through it). It must be built over the same generated
+	// stream the timeline was collected against.
+	Svc *cloud.Service
+	// TL is the collected timeline: relay requests with release times,
+	// records and predictions for scoring.
+	TL pipeline.Timeline
+}
+
 // Run admits the streams and marshals them against one shared CI backend.
 // Phase A computes each stream's timeline (records, predictions, relay
 // requests with release times) on Config.Parallelism workers, slotted by
@@ -246,6 +264,8 @@ func Run(streams []Stream, cfg Config) (*Report, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	// Fail fast on bad IDs before burning phase-A compute; RunTimelines
+	// re-checks for callers that skip Run.
 	seen := make(map[string]bool, len(streams))
 	for i, s := range streams {
 		if s.ID == "" {
@@ -256,25 +276,10 @@ func Run(streams []Stream, cfg Config) (*Report, error) {
 		}
 		seen[s.ID] = true
 	}
-	if cfg.Metrics == nil {
-		cfg.Metrics = obs.NewRegistry()
-	}
-	var cache *cicache.Cache
-	if cfg.Cache != nil {
-		var err error
-		cache, err = cicache.New(*cfg.Cache)
-		if err != nil {
-			return nil, fmt.Errorf("fleet: %w", err)
-		}
-	}
 
 	// Phase A: per-stream oracle backends and timelines, computed
 	// concurrently and slotted by index.
-	type cell struct {
-		svc *cloud.Service
-		tl  pipeline.Timeline
-	}
-	cells := make([]cell, len(streams))
+	cells := make([]TimelineStream, len(streams))
 	errs := make([]error, len(streams))
 	workers := cfg.Parallelism
 	if workers < 1 {
@@ -313,7 +318,7 @@ func Run(streams []Stream, cfg Config) (*Report, error) {
 					errs[i] = fmt.Errorf("fleet: stream %s: %w", s.ID, err)
 					continue
 				}
-				cells[i] = cell{svc: svc, tl: tl}
+				cells[i] = TimelineStream{ID: s.ID, Svc: svc, TL: tl}
 			}
 		}()
 	}
@@ -323,11 +328,51 @@ func Run(streams []Stream, cfg Config) (*Report, error) {
 			return nil, err
 		}
 	}
+	return RunTimelines(cells, cfg)
+}
 
-	// Phase B: serial arbitration over the shared clock.
+// RunTimelines is phase B alone: serial arbitration plus scoring over
+// timelines somebody else already collected. fleet.Run calls it after its
+// in-process phase A; cluster.RunSim calls it at the front after N worker
+// processes computed the timelines over HTTP. Identical inputs produce a
+// byte-identical report either way — arbitration order, cache consultation
+// and every meter are pure functions of (timelines, cfg).
+func RunTimelines(streams []TimelineStream, cfg Config) (*Report, error) {
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("fleet: no streams")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(streams))
+	for i, s := range streams {
+		if s.ID == "" {
+			return nil, fmt.Errorf("fleet: stream %d has no ID", i)
+		}
+		if seen[s.ID] {
+			return nil, fmt.Errorf("fleet: duplicate stream ID %q", s.ID)
+		}
+		if s.Svc == nil {
+			return nil, fmt.Errorf("fleet: stream %q has no oracle service", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	var cache *cicache.Cache
+	if cfg.Cache != nil {
+		var err error
+		cache, err = cicache.New(*cfg.Cache)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+	}
+
+	// Serial arbitration over the shared clock.
 	sch := newScheduler(cfg, cache)
 	for i := range streams {
-		sch.addStream(streams[i].ID, cells[i].svc, cells[i].tl)
+		sch.addStream(streams[i].ID, streams[i].Svc, streams[i].TL)
 	}
 	sch.run()
 

@@ -32,29 +32,15 @@ type FleetResult struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
-// Fleet trains one bundle on the task, generates n fresh streams of the
-// task's dataset (distinct seeds — the paper's independent trials, here
-// playing N cameras running the same deployed model), and marshals the
-// first `frames` frames of each through the fleet scheduler under fcfg.
-// frames <= 0 marshals whole streams; n <= 0 defaults to 4.
-func Fleet(taskName string, opt Options, n, frames int, fcfg fleet.Config, seed int64, w io.Writer) (*FleetResult, error) {
-	task, err := TaskByName(taskName)
-	if err != nil {
-		return nil, err
-	}
-	if n <= 0 {
-		n = 4
-	}
+// fleetStreams builds the n independent camera streams the fleet
+// experiments marshal: one per cell, slotted by index, each with its own
+// model replica (Model.Predict reuses forward caches, and timelines are
+// computed concurrently). The conformal layers are read-only after
+// calibration and stay shared. Rebuild the streams for every run — a used
+// stream carries warmed caches that a byte-identity comparison must not
+// see.
+func fleetStreams(task Task, opt Options, env *Env, n, frames int, seed int64) ([]fleet.Stream, error) {
 	const conf, cov = 0.9, 0.9
-	env, err := NewEnv(task, opt, seed)
-	if err != nil {
-		return nil, err
-	}
-
-	// One stream per cell, slotted by index. Each stream gets its own model
-	// replica: Model.Predict reuses forward caches, and fleet.Run computes
-	// timelines concurrently. The conformal layers are read-only after
-	// calibration and stay shared.
 	streams := make([]fleet.Stream, n)
 	if err := forEachCell(n, func(i int) error {
 		ss := seed + int64(1000*(i+1))
@@ -80,6 +66,32 @@ func Fleet(taskName string, opt Options, n, frames int, fcfg fleet.Config, seed 
 		}
 		return nil
 	}); err != nil {
+		return nil, err
+	}
+	return streams, nil
+}
+
+// Fleet trains one bundle on the task, generates n fresh streams of the
+// task's dataset (distinct seeds — the paper's independent trials, here
+// playing N cameras running the same deployed model), and marshals the
+// first `frames` frames of each through the fleet scheduler under fcfg.
+// frames <= 0 marshals whole streams; n <= 0 defaults to 4.
+func Fleet(taskName string, opt Options, n, frames int, fcfg fleet.Config, seed int64, w io.Writer) (*FleetResult, error) {
+	task, err := TaskByName(taskName)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		n = 4
+	}
+	const conf, cov = 0.9, 0.9
+	env, err := NewEnv(task, opt, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	streams, err := fleetStreams(task, opt, env, n, frames, seed)
+	if err != nil {
 		return nil, err
 	}
 

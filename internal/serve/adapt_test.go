@@ -81,7 +81,7 @@ func (fx *adaptFixture) advance(to int) {
 		for f := fx.next; f <= hi; f++ {
 			frames = append(frames, fx.ex.FrameVector(f, nil))
 		}
-		if _, err := fx.c.PushFrames(frames); err != nil {
+		if _, err := fx.c.PushFrames(tctx, frames); err != nil {
 			fx.t.Fatal(err)
 		}
 		fx.next = hi + 1
@@ -98,7 +98,7 @@ func (fx *adaptFixture) walk(n, stride int) (coverage float64, occurred int, tra
 	for i := 0; i < n; i++ {
 		anchor := fx.next - 1 + stride
 		fx.advance(anchor)
-		resp, err := fx.c.Predict(0, 0)
+		resp, err := fx.c.Predict(tctx, 0, 0)
 		if err != nil {
 			fx.t.Fatal(err)
 		}
@@ -134,7 +134,7 @@ func runAdaptScenario(t *testing.T) adaptOutcome {
 	var tr []bool
 	out.covClean, _, tr = fx.walk(80, 50)
 	out.transcript = append(out.transcript, tr...)
-	st, err := fx.c.Stats()
+	st, err := fx.c.Stats(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func runAdaptScenario(t *testing.T) adaptOutcome {
 		out.transcript = append(out.transcript, step...)
 		occurred += occ
 		kept += int(cov * float64(occ))
-		st, err = fx.c.Stats()
+		st, err = fx.c.Stats(tctx)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -184,7 +184,7 @@ func runAdaptScenario(t *testing.T) adaptOutcome {
 	// Phase 3 — still degraded, now on the recalibrated bundle.
 	out.covRestored, _, tr = fx.walk(100, 50)
 	out.transcript = append(out.transcript, tr...)
-	out.stats, err = fx.c.Stats()
+	out.stats, err = fx.c.Stats(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}

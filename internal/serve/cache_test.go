@@ -58,7 +58,7 @@ func TestServerCacheRequiresCI(t *testing.T) {
 func TestServerCacheHitOnRepeatPredict(t *testing.T) {
 	c, bw, ci := newCachedRelayServer(t)
 	pushImminentWindow(t, c, bw)
-	r1, err := c.Predict(0.95, 0.9)
+	r1, err := c.Predict(tctx, 0.95, 0.9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestServerCacheHitOnRepeatPredict(t *testing.T) {
 	if u1.Frames == 0 {
 		t.Fatal("first relay billed nothing")
 	}
-	r2, err := c.Predict(0.95, 0.9)
+	r2, err := c.Predict(tctx, 0.95, 0.9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestServerCacheHitOnRepeatPredict(t *testing.T) {
 	if u2 := ci.Usage(); u2 != u1 {
 		t.Fatalf("repeat predict billed the CI: %+v vs %+v", u2, u1)
 	}
-	st, err := c.Stats()
+	st, err := c.Stats(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,18 +140,18 @@ func TestServerCacheHitBypassesArbiter(t *testing.T) {
 	t.Cleanup(ts.Close)
 	c := NewClient(ts.URL, ts.Client())
 	pushImminentWindow(t, c, bw)
-	r1, err := c.Predict(0.95, 0.9)
+	r1, err := c.Predict(tctx, 0.95, 0.9)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !r1.Decisions[0].Relay || r1.Decisions[0].Deferred {
 		t.Fatalf("first predict not admitted: %+v", r1.Decisions[0])
 	}
-	st1, err := c.Stats()
+	st1, err := c.Stats(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := c.Predict(0.95, 0.9)
+	r2, err := c.Predict(tctx, 0.95, 0.9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +161,7 @@ func TestServerCacheHitBypassesArbiter(t *testing.T) {
 	if r2.Decisions[0].Detections != r1.Decisions[0].Detections {
 		t.Fatalf("cached repeat diverged: %+v vs %+v", r2.Decisions[0], r1.Decisions[0])
 	}
-	st2, err := c.Stats()
+	st2, err := c.Stats(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,10 +184,10 @@ func TestServerCacheHitBypassesArbiter(t *testing.T) {
 func TestServerCacheOffStatsZero(t *testing.T) {
 	c, bw, _ := newRelayServer(t, cloud.FaultPlan{}, nil)
 	pushImminentWindow(t, c, bw)
-	if _, err := c.Predict(0.95, 0.9); err != nil {
+	if _, err := c.Predict(tctx, 0.95, 0.9); err != nil {
 		t.Fatal(err)
 	}
-	st, err := c.Stats()
+	st, err := c.Stats(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}

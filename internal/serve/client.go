@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,7 +12,10 @@ import (
 	"eventhit/internal/strategy"
 )
 
-// Client is a small typed client for the marshalling service.
+// Client is a small typed client for the marshalling service. Every method
+// takes a context.Context: callers own the timeout/cancel policy per
+// request — the cluster front tier depends on this to shed a slow worker
+// instead of hanging its proxy path.
 type Client struct {
 	base string
 	hc   *http.Client
@@ -26,14 +30,17 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	return &Client{base: base, hc: httpClient}
 }
 
-func (c *Client) post(path string, body, out interface{}) error {
-	var buf bytes.Buffer
-	if body != nil {
-		if err := json.NewEncoder(&buf).Encode(body); err != nil {
-			return err
-		}
+// do issues one request with ctx attached and decodes the JSON response
+// into out (nil out discards the body after the status check).
+func (c *Client) do(ctx context.Context, method, path, contentType string, body io.Reader, out interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
 	}
-	resp, err := c.hc.Post(c.base+path, "application/json", &buf)
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}
@@ -41,13 +48,18 @@ func (c *Client) post(path string, body, out interface{}) error {
 	return decodeResponse(resp, out)
 }
 
-func (c *Client) get(path string, out interface{}) error {
-	resp, err := c.hc.Get(c.base + path)
-	if err != nil {
-		return err
+func (c *Client) post(ctx context.Context, path string, body, out interface{}) error {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return err
+		}
 	}
-	defer resp.Body.Close()
-	return decodeResponse(resp, out)
+	return c.do(ctx, http.MethodPost, path, "application/json", &buf, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out interface{}) error {
+	return c.do(ctx, http.MethodGet, path, "", nil, out)
 }
 
 func decodeResponse(resp *http.Response, out interface{}) error {
@@ -68,15 +80,21 @@ func decodeResponse(resp *http.Response, out interface{}) error {
 }
 
 // PushFrames sends covariate vectors to the server.
-func (c *Client) PushFrames(frames [][]float64) (FramesResponse, error) {
+func (c *Client) PushFrames(ctx context.Context, frames [][]float64) (FramesResponse, error) {
 	var out FramesResponse
-	err := c.post("/v1/frames", FramesRequest{Frames: frames}, &out)
+	err := c.post(ctx, "/v1/frames", FramesRequest{Frames: frames}, &out)
 	return out, err
 }
 
 // Predict asks for the marshalling decision at the current anchor.
 // confidence/coverage of 0 use the server defaults.
-func (c *Client) Predict(confidence, coverage float64) (PredictResponse, error) {
+func (c *Client) Predict(ctx context.Context, confidence, coverage float64) (PredictResponse, error) {
+	var out PredictResponse
+	err := c.post(ctx, "/v1/predict"+predictQuery(confidence, coverage), nil, &out)
+	return out, err
+}
+
+func predictQuery(confidence, coverage float64) string {
 	q := url.Values{}
 	if confidence > 0 {
 		q.Set("confidence", fmt.Sprintf("%g", confidence))
@@ -84,100 +102,75 @@ func (c *Client) Predict(confidence, coverage float64) (PredictResponse, error) 
 	if coverage > 0 {
 		q.Set("coverage", fmt.Sprintf("%g", coverage))
 	}
-	path := "/v1/predict"
-	if len(q) > 0 {
-		path += "?" + q.Encode()
+	if len(q) == 0 {
+		return ""
 	}
-	var out PredictResponse
-	err := c.post(path, nil, &out)
-	return out, err
+	return "?" + q.Encode()
 }
 
 // CreateSession registers a new session and returns its id. An empty id
-// asks the server to generate one.
-func (c *Client) CreateSession(id string) (string, error) {
+// asks the server to generate one; a non-empty scene tags the session with
+// a scene key so fleet-wide classifier swaps can find its siblings.
+func (c *Client) CreateSession(ctx context.Context, id, scene string) (string, error) {
 	var out SessionRequest
-	err := c.post("/v1/sessions", SessionRequest{ID: id}, &out)
+	err := c.post(ctx, "/v1/sessions", SessionRequest{ID: id, Scene: scene}, &out)
 	return out.ID, err
 }
 
 // DeleteSession removes a session and releases its fleet rate bucket.
-func (c *Client) DeleteSession(id string) error {
-	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/sessions/"+url.PathEscape(id), nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	return decodeResponse(resp, nil)
+func (c *Client) DeleteSession(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+url.PathEscape(id), "", nil, nil)
 }
 
 // Sessions lists every session's counters in creation order.
-func (c *Client) Sessions() ([]SessionInfo, error) {
+func (c *Client) Sessions(ctx context.Context) ([]SessionInfo, error) {
 	var out []SessionInfo
-	err := c.get("/v1/sessions", &out)
+	err := c.get(ctx, "/v1/sessions", &out)
 	return out, err
 }
 
 // PushFramesSession is PushFrames scoped to one session.
-func (c *Client) PushFramesSession(id string, frames [][]float64) (FramesResponse, error) {
+func (c *Client) PushFramesSession(ctx context.Context, id string, frames [][]float64) (FramesResponse, error) {
 	var out FramesResponse
-	err := c.post("/v1/sessions/"+url.PathEscape(id)+"/frames", FramesRequest{Frames: frames}, &out)
+	err := c.post(ctx, "/v1/sessions/"+url.PathEscape(id)+"/frames", FramesRequest{Frames: frames}, &out)
 	return out, err
 }
 
 // PredictSession is Predict scoped to one session.
-func (c *Client) PredictSession(id string, confidence, coverage float64) (PredictResponse, error) {
-	q := url.Values{}
-	if confidence > 0 {
-		q.Set("confidence", fmt.Sprintf("%g", confidence))
-	}
-	if coverage > 0 {
-		q.Set("coverage", fmt.Sprintf("%g", coverage))
-	}
-	path := "/v1/sessions/" + url.PathEscape(id) + "/predict"
-	if len(q) > 0 {
-		path += "?" + q.Encode()
-	}
+func (c *Client) PredictSession(ctx context.Context, id string, confidence, coverage float64) (PredictResponse, error) {
 	var out PredictResponse
-	err := c.post(path, nil, &out)
+	err := c.post(ctx, "/v1/sessions/"+url.PathEscape(id)+"/predict"+predictQuery(confidence, coverage), nil, &out)
 	return out, err
 }
 
 // PushModel uploads a new bundle to POST /v1/model, atomically hot-swapping
 // the served model+calibration. The server validates the bundle against its
 // frozen geometry and rejects a misfit at swap time.
-func (c *Client) PushModel(b *strategy.Bundle) (ModelResponse, error) {
+func (c *Client) PushModel(ctx context.Context, b *strategy.Bundle) (ModelResponse, error) {
 	var buf bytes.Buffer
 	if err := b.Save(&buf); err != nil {
 		return ModelResponse{}, err
 	}
-	resp, err := c.hc.Post(c.base+"/v1/model", "application/octet-stream", &buf)
-	if err != nil {
-		return ModelResponse{}, err
-	}
-	defer resp.Body.Close()
 	var out ModelResponse
-	err = decodeResponse(resp, &out)
+	err := c.do(ctx, http.MethodPost, "/v1/model", "application/octet-stream", &buf, &out)
 	return out, err
 }
 
 // Stats fetches the server counters.
-func (c *Client) Stats() (Stats, error) {
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var out Stats
-	err := c.get("/v1/stats", &out)
+	err := c.get(ctx, "/v1/stats", &out)
 	return out, err
 }
 
 // Healthy reports whether the health endpoint answers.
-func (c *Client) Healthy() bool {
-	resp, err := c.hc.Get(c.base + "/v1/healthz")
-	if err != nil {
-		return false
-	}
-	resp.Body.Close()
-	return resp.StatusCode == http.StatusOK
+func (c *Client) Healthy(ctx context.Context) bool {
+	return c.do(ctx, http.MethodGet, "/healthz", "", nil, nil) == nil
+}
+
+// Ready reports whether the server is ready to take traffic (model
+// installed, arbiter live, not draining). A transport error counts as not
+// ready — exactly how a front tier must treat an unreachable worker.
+func (c *Client) Ready(ctx context.Context) bool {
+	return c.do(ctx, http.MethodGet, "/readyz", "", nil, nil) == nil
 }

@@ -93,7 +93,7 @@ var (
 func TestMetricsEndpoint(t *testing.T) {
 	c, bw, _ := newRelayServer(t, cloud.FaultPlan{}, nil)
 	pushImminentWindow(t, c, bw)
-	if _, err := c.Predict(0.95, 0.9); err != nil {
+	if _, err := c.Predict(tctx, 0.95, 0.9); err != nil {
 		t.Fatal(err)
 	}
 	body, hdr := getBody(t, c.base+"/metrics")
@@ -184,7 +184,7 @@ func TestStatsConsistentUnderLoad(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < perG; j++ {
-				if _, err := c.Predict(0.95, 0.9); err != nil {
+				if _, err := c.Predict(tctx, 0.95, 0.9); err != nil {
 					t.Error(err)
 					return
 				}
@@ -196,7 +196,7 @@ func TestStatsConsistentUnderLoad(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < perG*4; j++ {
-				st, err := c.Stats()
+				st, err := c.Stats(tctx)
 				if err != nil {
 					t.Error(err)
 					return
@@ -215,7 +215,7 @@ func TestStatsConsistentUnderLoad(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	st, err := c.Stats()
+	st, err := c.Stats(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -49,7 +49,7 @@ func pushImminentWindow(t *testing.T, c *Client, bw *Bundlewrap) {
 		for f := lo; f <= hi; f++ {
 			frames = append(frames, bw.ex.FrameVector(f, nil))
 		}
-		if _, err := c.PushFrames(frames); err != nil {
+		if _, err := c.PushFrames(tctx, frames); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -58,7 +58,7 @@ func pushImminentWindow(t *testing.T, c *Client, bw *Bundlewrap) {
 func TestServerRelaySuccess(t *testing.T) {
 	c, bw, ci := newRelayServer(t, cloud.FaultPlan{}, nil)
 	pushImminentWindow(t, c, bw)
-	resp, err := c.Predict(0.95, 0.9)
+	resp, err := c.Predict(tctx, 0.95, 0.9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestServerRelaySuccess(t *testing.T) {
 	if d.Detections == 0 {
 		t.Fatalf("relay over an imminent instance found nothing: %+v", d)
 	}
-	st, err := c.Stats()
+	st, err := c.Stats(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestServerRelaySuccess(t *testing.T) {
 func TestServerRelayDegradesGracefully(t *testing.T) {
 	c, bw, ci := newRelayServer(t, cloud.FaultPlan{Seed: 2, TransientRate: 1, FailLatencyMS: 5}, nil)
 	pushImminentWindow(t, c, bw)
-	resp, err := c.Predict(0.95, 0.9)
+	resp, err := c.Predict(tctx, 0.95, 0.9)
 	if err != nil {
 		t.Fatalf("predict must not fail on CI outage: %v", err)
 	}
@@ -104,7 +104,7 @@ func TestServerRelayDegradesGracefully(t *testing.T) {
 	if !d.Relay || !d.Deferred || d.Detections != 0 {
 		t.Fatalf("decision = %+v, want deferred relay with no detections", d)
 	}
-	st, err := c.Stats()
+	st, err := c.Stats(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,11 +132,11 @@ func TestServerRelayBreakerOpens(t *testing.T) {
 	c, bw, ci := newRelayServer(t, cloud.FaultPlan{Seed: 3, TransientRate: 1}, &rcfg)
 	pushImminentWindow(t, c, bw)
 	for i := 0; i < 3; i++ {
-		if _, err := c.Predict(0.95, 0.9); err != nil {
+		if _, err := c.Predict(tctx, 0.95, 0.9); err != nil {
 			t.Fatal(err)
 		}
 	}
-	st, err := c.Stats()
+	st, err := c.Stats(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -27,6 +28,10 @@ var (
 	once sync.Once
 	fx   *Bundlewrap
 )
+
+// tctx is the context every test client call runs under; per-request
+// deadline behavior is what the cluster front exercises, not these tests.
+var tctx = context.Background()
 
 func getBundle(t testing.TB) *Bundlewrap {
 	t.Helper()
@@ -97,14 +102,14 @@ func TestNewValidation(t *testing.T) {
 
 func TestHealthz(t *testing.T) {
 	_, c, _ := newTestServer(t)
-	if !c.Healthy() {
+	if !c.Healthy(tctx) {
 		t.Fatal("health endpoint not answering")
 	}
 }
 
 func TestPredictBeforeWindowFull(t *testing.T) {
 	_, c, bw := newTestServer(t)
-	if _, err := c.Predict(0, 0); err == nil || !strings.Contains(err.Error(), "window not full") {
+	if _, err := c.Predict(tctx, 0, 0); err == nil || !strings.Contains(err.Error(), "window not full") {
 		t.Fatalf("expected window-not-full error, got %v", err)
 	}
 	// Partially fill.
@@ -112,10 +117,10 @@ func TestPredictBeforeWindowFull(t *testing.T) {
 	for i := range frames {
 		frames[i] = bw.ex.FrameVector(1000+i, nil)
 	}
-	if _, err := c.PushFrames(frames); err != nil {
+	if _, err := c.PushFrames(tctx, frames); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Predict(0, 0); err == nil {
+	if _, err := c.Predict(tctx, 0, 0); err == nil {
 		t.Fatal("still expected window-not-full error")
 	}
 }
@@ -130,14 +135,14 @@ func TestPushAndPredictEndToEnd(t *testing.T) {
 	for f := anchorFrame - 9; f <= anchorFrame; f++ {
 		frames = append(frames, bw.ex.FrameVector(f, nil))
 	}
-	ack, err := c.PushFrames(frames)
+	ack, err := c.PushFrames(tctx, frames)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ack.Buffered != 10 || ack.Next != 10 {
 		t.Fatalf("ack = %+v", ack)
 	}
-	resp, err := c.Predict(0.95, 0.9)
+	resp, err := c.Predict(tctx, 0.95, 0.9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +159,7 @@ func TestPushAndPredictEndToEnd(t *testing.T) {
 	if d.Start < resp.Anchor+1 || d.End > resp.HorizonEnd || d.Start > d.End {
 		t.Fatalf("relay range invalid: %+v", d)
 	}
-	st, err := c.Stats()
+	st, err := c.Stats(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,17 +190,17 @@ func TestSkipDecisionOnQuietWindow(t *testing.T) {
 	for f := quiet - 9; f <= quiet; f++ {
 		frames = append(frames, bw.ex.FrameVector(f, nil))
 	}
-	if _, err := c.PushFrames(frames); err != nil {
+	if _, err := c.PushFrames(tctx, frames); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := c.Predict(0.8, 0.8)
+	resp, err := c.Predict(tctx, 0.8, 0.8)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resp.Decisions[0].Relay {
 		t.Logf("note: quiet horizon relayed (conformal false positive) — acceptable but rare")
 	}
-	st, _ := c.Stats()
+	st, _ := c.Stats(tctx)
 	if st.Predictions != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
@@ -203,10 +208,10 @@ func TestSkipDecisionOnQuietWindow(t *testing.T) {
 
 func TestFrameValidation(t *testing.T) {
 	_, c, _ := newTestServer(t)
-	if _, err := c.PushFrames(nil); err == nil {
+	if _, err := c.PushFrames(tctx, nil); err == nil {
 		t.Fatal("expected error for no frames")
 	}
-	if _, err := c.PushFrames([][]float64{{1, 2}}); err == nil {
+	if _, err := c.PushFrames(tctx, [][]float64{{1, 2}}); err == nil {
 		t.Fatal("expected error for wrong dimensionality")
 	}
 }
@@ -219,11 +224,11 @@ func TestPredictKnobValidation(t *testing.T) {
 	for f := 100; f < 110; f++ {
 		frames = append(frames, bw.ex.FrameVector(f, nil))
 	}
-	cl.PushFrames(frames)
-	if _, err := cl.Predict(1.5, 0.9); err == nil {
+	cl.PushFrames(tctx, frames)
+	if _, err := cl.Predict(tctx, 1.5, 0.9); err == nil {
 		t.Fatal("expected error for confidence > 1")
 	}
-	if _, err := cl.Predict(0.9, 2); err == nil {
+	if _, err := cl.Predict(tctx, 0.9, 2); err == nil {
 		t.Fatal("expected error for coverage > 1")
 	}
 }
@@ -234,7 +239,7 @@ func TestSlidingWindowKeepsLatest(t *testing.T) {
 	var last FramesResponse
 	for f := 500; f < 525; f++ {
 		var err error
-		last, err = c.PushFrames([][]float64{bw.ex.FrameVector(f, nil)})
+		last, err = c.PushFrames(tctx, [][]float64{bw.ex.FrameVector(f, nil)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -266,10 +271,10 @@ func TestServerWritesTrace(t *testing.T) {
 	for f := in.OI.Start - 29; f <= in.OI.Start-20; f++ {
 		frames = append(frames, bw.ex.FrameVector(f, nil))
 	}
-	if _, err := c.PushFrames(frames); err != nil {
+	if _, err := c.PushFrames(tctx, frames); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Predict(0, 0); err != nil {
+	if _, err := c.Predict(tctx, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := trace.ReadAll(&traceBuf)
@@ -299,7 +304,7 @@ func TestConcurrentPredicts(t *testing.T) {
 	for f := 300; f < 310; f++ {
 		frames = append(frames, bw.ex.FrameVector(f, nil))
 	}
-	if _, err := cl.PushFrames(frames); err != nil {
+	if _, err := cl.PushFrames(tctx, frames); err != nil {
 		t.Fatal(err)
 	}
 	// Hammer predict from many goroutines; with the predict mutex this
@@ -310,7 +315,7 @@ func TestConcurrentPredicts(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			r, err := cl.Predict(0.9, 0.9)
+			r, err := cl.Predict(tctx, 0.9, 0.9)
 			if err != nil {
 				t.Error(err)
 				return
@@ -332,7 +337,7 @@ func TestClientErrorDecoding(t *testing.T) {
 	_, c, _ := newTestServer(t)
 	// Server returns a structured error for bad requests; the client must
 	// surface the message.
-	_, err := c.PushFrames([][]float64{{1}})
+	_, err := c.PushFrames(tctx, [][]float64{{1}})
 	if err == nil || !strings.Contains(err.Error(), "channels") {
 		t.Fatalf("error not surfaced: %v", err)
 	}
@@ -340,16 +345,16 @@ func TestClientErrorDecoding(t *testing.T) {
 
 func TestClientAgainstDeadServer(t *testing.T) {
 	c := NewClient("http://127.0.0.1:1", nil) // nothing listens on port 1
-	if c.Healthy() {
+	if c.Healthy(tctx) {
 		t.Fatal("dead server reported healthy")
 	}
-	if _, err := c.Stats(); err == nil {
+	if _, err := c.Stats(tctx); err == nil {
 		t.Fatal("expected connection error")
 	}
-	if _, err := c.PushFrames([][]float64{{1}}); err == nil {
+	if _, err := c.PushFrames(tctx, [][]float64{{1}}); err == nil {
 		t.Fatal("expected connection error")
 	}
-	if _, err := c.Predict(0, 0); err == nil {
+	if _, err := c.Predict(tctx, 0, 0); err == nil {
 		t.Fatal("expected connection error")
 	}
 }

@@ -18,14 +18,15 @@
 //
 //	POST   /v1/frames   {"frames": [[...],[...]]}     -> {"buffered": n, "next": absIndex}
 //	POST   /v1/predict  ?confidence=0.9&coverage=0.9  -> per-event decisions
-//	POST   /v1/sessions {"id": "cam-7"}               -> {"id": ...} (id optional)
+//	POST   /v1/sessions {"id": "cam-7", "scene": ""}  -> {"id": ...} (both optional)
 //	GET    /v1/sessions                               -> per-session counters
 //	DELETE /v1/sessions/{id}                          -> 204; frees the session and its rate bucket
 //	POST   /v1/sessions/{id}/frames                   -> as /v1/frames, for one session
 //	POST   /v1/sessions/{id}/predict                  -> as /v1/predict, for one session
 //	POST   /v1/model    (bundle in Save format)       -> {"generation": g}; atomic hot swap
 //	GET    /v1/stats                                  -> counters incl. estimated spend
-//	GET    /v1/healthz                                -> 200 "ok"
+//	GET    /healthz (alias /v1/healthz)               -> 200 "ok" (liveness)
+//	GET    /readyz                                    -> 200/503 (readiness: model installed, arbiter live, not draining)
 //	GET    /metrics                                   -> Prometheus text exposition
 //	GET    /debug/pprof/*                             -> profiling (Config.EnablePprof)
 package serve
@@ -43,6 +44,7 @@ import (
 
 	"eventhit/internal/cicache"
 	"eventhit/internal/cloud"
+	"eventhit/internal/conformal"
 	"eventhit/internal/dataset"
 	"eventhit/internal/fleet"
 	"eventhit/internal/metrics"
@@ -100,6 +102,11 @@ type Config struct {
 	// are served from the stored verdict with zero billing and zero CI
 	// latency. Requires CI (the server must own the relay to intercept it).
 	Cache *cicache.Config
+	// RemoteCache interposes a cluster-shared result cache instead of a
+	// locally built one — the coordinator-hosted implementation lets ε=0
+	// cross-stream dedup fire even when twin cameras land on different
+	// workers. Requires CI; mutually exclusive with Cache.
+	RemoteCache cicache.Remote
 	// Fleet, when non-nil, gates every decided relay through a shared
 	// admission arbiter: per-session token buckets in billed frames plus a
 	// global spend cap (see fleet.Arbiter). A relay the arbiter declines is
@@ -123,6 +130,20 @@ type Config struct {
 	// for that session. Requires CI — the labels come back from the relay —
 	// and DefaultCoverage < 1 (the monitor needs a nominal miss budget).
 	Adapt *AdaptConfig
+	// SwapPublisher, when non-nil, is invoked after a session with a
+	// non-empty scene key cuts a recalibration swap: the cluster worker
+	// posts the fresh classifier to the coordinator, which fans it out to
+	// sibling workers watching the same scene. Called without any server
+	// lock held (it may block on HTTP) but before the predict response is
+	// written, so a caller observing the response can rely on the publish
+	// having happened. Sessions with the same scene on THIS server adopt
+	// the classifier directly, publisher or not.
+	SwapPublisher func(scene string, cls *conformal.Classifier)
+	// ReadyProbe, when non-nil, adds an external condition to GET /readyz:
+	// cluster workers probe their coordinator here, so a worker whose
+	// budget/cache backend vanished drops out of the routing ring instead
+	// of serving half-configured.
+	ReadyProbe func() error
 }
 
 // session is one camera stream's ingest and decision state. All fields are
@@ -130,7 +151,12 @@ type Config struct {
 // lock-free) and ad (touched only under relayMu; its counters are
 // committed into the mu-guarded fields below by handlePredict).
 type session struct {
-	id        string
+	id string
+	// scene is the session's scene key ("" = untagged): sessions sharing a
+	// scene see the same physical setting, so a recalibration cut for one
+	// is adopted by the others (locally and, through SwapPublisher, across
+	// the cluster).
+	scene     string
 	buf       [][]float64 // ring of the last `window` frames
 	next      int         // absolute index of the next frame to arrive
 	relays    int64
@@ -155,6 +181,9 @@ type session struct {
 	auditFrames   int64
 	recalSwaps    int64
 	recalDeferred int64
+	// sharedAdopted counts classifiers this session adopted from a sibling
+	// session's recalibration (same scene, local or cluster-published).
+	sharedAdopted int64
 }
 
 // Server is the HTTP marshalling service. Create with New; it implements
@@ -172,6 +201,17 @@ type Server struct {
 	unit       atomic.Pointer[bundleUnit]
 	gens       atomic.Uint64
 	adminSwaps int64
+	// sharedPublished counts recalibrations published to the cluster via
+	// Config.SwapPublisher; guarded by mu.
+	sharedPublished int64
+
+	// draining flips /readyz to 503 (SetDraining): the front tier stops
+	// routing new sessions here while in-flight traffic completes.
+	draining atomic.Bool
+
+	// cacheEps is the signature tolerance relays are signed with — from
+	// Config.Cache or the remote cache's effective config.
+	cacheEps float64
 
 	mu sync.Mutex
 	// predictMu serializes model inference: core.Model caches activations
@@ -267,8 +307,11 @@ func New(cfg Config) (*Server, error) {
 			s.eventSet[k] = k
 		}
 	}
-	if cfg.Cache != nil && cfg.CI == nil {
+	if (cfg.Cache != nil || cfg.RemoteCache != nil) && cfg.CI == nil {
 		return nil, fmt.Errorf("serve: Cache requires CI (the server must own the relay)")
+	}
+	if cfg.Cache != nil && cfg.RemoteCache != nil {
+		return nil, fmt.Errorf("serve: Cache and RemoteCache are mutually exclusive")
 	}
 	if cfg.CI != nil {
 		rcfg := resilience.DefaultConfig(0)
@@ -276,14 +319,26 @@ func New(cfg Config) (*Server, error) {
 			rcfg = *cfg.Resilience
 		}
 		backend := cfg.CI
-		if cfg.Cache != nil {
+		var rc cicache.Remote
+		switch {
+		case cfg.Cache != nil:
 			cache, err := cicache.New(*cfg.Cache)
 			if err != nil {
 				return nil, fmt.Errorf("serve: %w", err)
 			}
-			s.cached = cloud.NewCachedBackend(cfg.CI, cache, cfg.PerFrameUSD)
+			rc = cache
+		case cfg.RemoteCache != nil:
+			rc = cfg.RemoteCache
+		}
+		if rc != nil {
+			ccfg := rc.Config()
+			if err := ccfg.Validate(); err != nil {
+				return nil, fmt.Errorf("serve: remote cache config: %w", err)
+			}
+			s.cacheEps = ccfg.Epsilon
+			s.cached = cloud.NewCachedBackend(cfg.CI, rc, cfg.PerFrameUSD)
 			backend = s.cached
-			cache.Register(s.metrics, nil)
+			cicache.RegisterStats(s.metrics, nil, rc.Stats)
 			s.metrics.CounterFunc("eventhit_cicache_saved_frames_total",
 				"billed frames avoided by cache hits", nil,
 				func() float64 { return float64(s.cached.Savings().SavedFrames) })
@@ -319,7 +374,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.unit.Store(u)
-	if _, err := s.newSessionLocked(DefaultSession); err != nil {
+	if _, err := s.newSessionLocked(DefaultSession, ""); err != nil {
 		return nil, err
 	}
 	s.registerServeMetrics()
@@ -332,10 +387,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/predict", s.instrument("/v1/sessions/predict", s.forSession("id", s.handlePredict)))
 	s.mux.HandleFunc("POST /v1/model", s.instrument("/v1/model", s.handleModelPush))
 	s.mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
-	s.mux.HandleFunc("GET /v1/healthz", s.instrument("/v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	}))
+	s.mux.HandleFunc("GET /v1/healthz", s.instrument("/v1/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	s.mux.Handle("GET /metrics", s.metrics.Handler())
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -373,6 +427,8 @@ func (s *Server) registerServeMetrics() {
 		{"eventhit_serve_drift_audits_total", "skipped horizons ground-truthed by audit relays", func(st Stats) float64 { return float64(st.DriftAudits) }},
 		{"eventhit_serve_drift_audit_frames_total", "frames relayed for audits (CI-billed, not marshalling)", func(st Stats) float64 { return float64(st.DriftAuditFrames) }},
 		{"eventhit_serve_drift_recalibrations_deferred_total", "recalibration attempts deferred for lack of post-shift positives", func(st Stats) float64 { return float64(st.RecalibrationsDeferred) }},
+		{"eventhit_serve_swap_shared_published_total", "recalibrations published to the cluster for scene siblings", func(st Stats) float64 { return float64(st.SharedSwapsPublished) }},
+		{"eventhit_serve_swap_shared_adopted_total", "classifiers adopted from a sibling session's recalibration", func(st Stats) float64 { return float64(st.SharedSwapAdoptions) }},
 	}
 	for _, f := range fields {
 		get := f.get
@@ -387,8 +443,8 @@ func (s *Server) registerServeMetrics() {
 // still inside New, before the server is shared). The session starts on
 // the globally installed unit and, when adaptation is on, gets its own
 // monitor and recalibration buffer.
-func (s *Server) newSessionLocked(id string) (*session, error) {
-	sess := &session{id: id}
+func (s *Server) newSessionLocked(id, scene string) (*session, error) {
+	sess := &session{id: id, scene: scene}
 	sess.unit.Store(s.unit.Load())
 	if s.cfg.Adapt != nil {
 		ad, err := newAdapter(*s.cfg.Adapt, s.cfg.DefaultCoverage, s.k)
@@ -433,6 +489,67 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// handleHealthz is liveness: the process answers. Routing decisions belong
+// to /readyz.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// Ready reports whether the server can take traffic, with the failing
+// conditions when it cannot: a serving model must be installed, the fleet
+// arbiter must be live when one is configured, the optional ReadyProbe
+// must pass, and the server must not be draining.
+func (s *Server) Ready() (bool, []string) {
+	var reasons []string
+	if s.unit.Load() == nil {
+		reasons = append(reasons, "no model installed")
+	}
+	if s.cfg.Fleet != nil && s.arbiter == nil {
+		reasons = append(reasons, "fleet arbiter not live")
+	}
+	if s.draining.Load() {
+		reasons = append(reasons, "draining")
+	}
+	if s.cfg.ReadyProbe != nil {
+		if err := s.cfg.ReadyProbe(); err != nil {
+			reasons = append(reasons, fmt.Sprintf("ready probe: %v", err))
+		}
+	}
+	return len(reasons) == 0, reasons
+}
+
+// SetDraining flips the readiness gate: a draining server answers /healthz
+// (the process is alive) but fails /readyz, so front tiers stop sending it
+// new work while in-flight requests finish.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// ReadyResponse is the GET /readyz body.
+type ReadyResponse struct {
+	Ready   bool     `json:"ready"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	ready, reasons := s.Ready()
+	if !ready {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(ReadyResponse{Ready: false, Reasons: reasons})
+		return
+	}
+	writeJSON(w, ReadyResponse{Ready: true})
+}
+
+// Close releases cluster-held resources: unspent lease headroom goes back
+// to the coordinator so a stopped worker's parked budget becomes available
+// to its siblings. Safe to call on any server; a no-op without a lease.
+func (s *Server) Close() {
+	if s.arbiter != nil {
+		s.arbiter.ReturnLease()
+	}
+}
+
 // forSession adapts a session-scoped handler to an endpoint: pathParam ""
 // binds the default session (legacy single-stream endpoints), otherwise the
 // session is resolved from the named path segment and an unknown id is 404.
@@ -465,20 +582,25 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 }
 
 // SessionRequest is the POST /v1/sessions body. ID is optional; the server
-// generates s1, s2, ... when absent.
+// generates s1, s2, ... when absent. Scene is an optional scene key:
+// sessions sharing one adopt each other's recalibration swaps (see
+// Config.SwapPublisher).
 type SessionRequest struct {
-	ID string `json:"id"`
+	ID    string `json:"id"`
+	Scene string `json:"scene,omitempty"`
 }
 
 // SessionInfo is one session's row in GET /v1/sessions.
 type SessionInfo struct {
 	ID                string `json:"id"`
+	Scene             string `json:"scene,omitempty"`
 	FramesIngested    int    `json:"framesIngested"`
 	Predictions       int64  `json:"predictions"`
 	Relays            int64  `json:"relays"`
 	RelayedOK         int64  `json:"relayedOK"`
 	DeferredRelays    int64  `json:"deferredRelays"`
 	AdmissionDeferred int64  `json:"admissionDeferred"`
+	SharedAdoptions   int64  `json:"sharedAdoptions,omitempty"`
 }
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
@@ -490,6 +612,10 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.ID) > MaxSessionID {
 		httpError(w, http.StatusBadRequest, "session id longer than %d bytes", MaxSessionID)
+		return
+	}
+	if len(req.Scene) > MaxSessionID {
+		httpError(w, http.StatusBadRequest, "scene key longer than %d bytes", MaxSessionID)
 		return
 	}
 	s.mu.Lock()
@@ -512,14 +638,14 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, "session %q already exists", id)
 		return
 	}
-	if _, err := s.newSessionLocked(id); err != nil {
+	if _, err := s.newSessionLocked(id, req.Scene); err != nil {
 		s.mu.Unlock()
 		httpError(w, http.StatusInternalServerError, "creating session: %v", err)
 		return
 	}
 	s.mu.Unlock()
 	w.WriteHeader(http.StatusCreated)
-	writeJSON(w, SessionRequest{ID: id})
+	writeJSON(w, SessionRequest{ID: id, Scene: req.Scene})
 }
 
 func (s *Server) handleSessionList(w http.ResponseWriter, _ *http.Request) {
@@ -529,12 +655,14 @@ func (s *Server) handleSessionList(w http.ResponseWriter, _ *http.Request) {
 		sess := s.sessions[id]
 		out = append(out, SessionInfo{
 			ID:                sess.id,
+			Scene:             sess.scene,
 			FramesIngested:    sess.next,
 			Predictions:       sess.predicts,
 			Relays:            sess.relays,
 			RelayedOK:         sess.relayedOK,
 			DeferredRelays:    sess.deferred,
 			AdmissionDeferred: sess.admitDef,
+			SharedAdoptions:   sess.sharedAdopted,
 		})
 	}
 	s.mu.Unlock()
@@ -661,7 +789,45 @@ type PredictResponse struct {
 	Decisions  []Decision `json:"decisions"`
 }
 
+// sharedPublish is a recalibration swap awaiting scene-wide propagation:
+// local sibling sessions adopt it directly, the cluster hears about it
+// through Config.SwapPublisher.
+type sharedPublish struct {
+	scene  string
+	except string // the origin session — already carries the classifier
+	cls    *conformal.Classifier
+}
+
 func (s *Server) handlePredict(sess *session, w http.ResponseWriter, r *http.Request) {
+	resp, pub := s.predictCore(sess, w, r)
+	if resp == nil {
+		return // predictCore already wrote the error
+	}
+	if pub != nil {
+		// Propagate the fresh classifier before answering, with NO server
+		// lock held (predictCore released relayMu on return): sibling
+		// sessions on this server adopt directly; the publisher ships it to
+		// the coordinator for sibling workers. Publishing before writeJSON
+		// makes the propagation observable: when the predict response
+		// arrives, scene siblings are already on the new calibration.
+		if _, err := s.AdoptClassifier(pub.scene, pub.cls, pub.except); err == nil {
+			if s.cfg.SwapPublisher != nil {
+				s.cfg.SwapPublisher(pub.scene, pub.cls)
+				s.mu.Lock()
+				s.sharedPublished++
+				s.mu.Unlock()
+			}
+		}
+	}
+	writeJSON(w, *resp)
+}
+
+// predictCore runs one predict request end to end and commits its
+// counters. It returns the response to write (nil when an HTTP error was
+// already written) plus, when this request's adaptation step cut a
+// recalibration swap on a scene-tagged session, the publish work the
+// wrapper performs after every lock is released.
+func (s *Server) predictCore(sess *session, w http.ResponseWriter, r *http.Request) (*PredictResponse, *sharedPublish) {
 	conf, cov := s.cfg.DefaultConfidence, s.cfg.DefaultCoverage
 	// Knob validation uses the positive form !(f > 0 && f <= 1): NaN fails
 	// every comparison, so "confidence=NaN" (which ParseFloat accepts) is
@@ -670,7 +836,7 @@ func (s *Server) handlePredict(sess *session, w http.ResponseWriter, r *http.Req
 		f, err := strconv.ParseFloat(v, 64)
 		if err != nil || !(f > 0 && f <= 1) {
 			httpError(w, http.StatusBadRequest, "invalid confidence %q", v)
-			return
+			return nil, nil
 		}
 		conf = f
 	}
@@ -678,7 +844,7 @@ func (s *Server) handlePredict(sess *session, w http.ResponseWriter, r *http.Req
 		f, err := strconv.ParseFloat(v, 64)
 		if err != nil || !(f > 0 && f <= 1) {
 			httpError(w, http.StatusBadRequest, "invalid coverage %q", v)
-			return
+			return nil, nil
 		}
 		cov = f
 	}
@@ -687,7 +853,7 @@ func (s *Server) handlePredict(sess *session, w http.ResponseWriter, r *http.Req
 		n := len(sess.buf)
 		s.mu.Unlock()
 		httpError(w, http.StatusConflict, "window not full: %d of %d frames buffered", n, s.window)
-		return
+		return nil, nil
 	}
 	x := make([][]float64, s.window)
 	copy(x, sess.buf)
@@ -718,6 +884,7 @@ func (s *Server) handlePredict(sess *session, w http.ResponseWriter, r *http.Req
 		defer s.relayMu.Unlock()
 	}
 	resp := PredictResponse{Anchor: anchor, HorizonEnd: anchor + s.horizon}
+	var pub *sharedPublish
 	var relays, frames, relayedOK, deferred, admitDef int64
 	var audits, auditFrames int64
 	skipped := int64(0)
@@ -742,7 +909,7 @@ func (s *Server) handlePredict(sess *session, w http.ResponseWriter, r *http.Req
 			var key cicache.Key
 			cachedHit := false
 			if s.cached != nil {
-				key = cicache.SignWindow(x, s.eventSet, et, pred.OI[k], s.cfg.Cache.Epsilon)
+				key = cicache.SignWindow(x, s.eventSet, et, pred.OI[k], s.cacheEps)
 				cachedHit = s.cached.Cache().Contains(key, abs.Start)
 			}
 			admitted := true
@@ -817,7 +984,7 @@ func (s *Server) handlePredict(sess *session, w http.ResponseWriter, r *http.Req
 				Confidence: conf, Coverage: cov,
 			}); err != nil {
 				httpError(w, http.StatusInternalServerError, "trace append: %v", err)
-				return
+				return nil, nil
 			}
 		}
 	}
@@ -855,8 +1022,11 @@ func (s *Server) handlePredict(sess *session, w http.ResponseWriter, r *http.Req
 		}
 		ad.audits += audits
 		ad.auditFrames += auditFrames
-		if nu := ad.step(s, u); nu != nil {
+		if nu, cls := ad.step(s, u); nu != nil {
 			sess.unit.Store(nu)
+			if sess.scene != "" {
+				pub = &sharedPublish{scene: sess.scene, except: sess.id, cls: cls}
+			}
 		}
 	}
 	s.mu.Lock()
@@ -886,7 +1056,7 @@ func (s *Server) handlePredict(sess *session, w http.ResponseWriter, r *http.Req
 		}
 	}
 	s.mu.Unlock()
-	writeJSON(w, resp)
+	return &resp, pub
 }
 
 // Stats is the GET /v1/stats body, totalled across every session.
@@ -945,6 +1115,11 @@ type Stats struct {
 	DriftAudits            int64  `json:"driftAudits"`
 	DriftAuditFrames       int64  `json:"driftAuditFrames"`
 	RecalibrationsDeferred int64  `json:"recalibrationsDeferred"`
+	// Fleet-wide shared swap: recalibrations published to the cluster
+	// (SwapPublisher invoked) and classifiers adopted into sessions from a
+	// sibling's recalibration (same scene key, local or cluster-delivered).
+	SharedSwapsPublished int64 `json:"sharedSwapsPublished"`
+	SharedSwapAdoptions  int64 `json:"sharedSwapAdoptions"`
 }
 
 // snapshot assembles Stats from one critical section. The relay/CI fields
@@ -954,13 +1129,14 @@ type Stats struct {
 func (s *Server) snapshot() Stats {
 	s.mu.Lock()
 	st := Stats{
-		Sessions:         len(s.sessions),
-		RelayEnabled:     s.relay != nil,
-		FleetEnabled:     s.arbiter != nil,
-		AdaptEnabled:     s.cfg.Adapt != nil,
-		QuantizedServing: s.cfg.Quantized,
-		ModelGeneration:  s.gens.Load(),
-		AdminSwaps:       s.adminSwaps,
+		Sessions:             len(s.sessions),
+		RelayEnabled:         s.relay != nil,
+		FleetEnabled:         s.arbiter != nil,
+		AdaptEnabled:         s.cfg.Adapt != nil,
+		QuantizedServing:     s.cfg.Quantized,
+		ModelGeneration:      s.gens.Load(),
+		AdminSwaps:           s.adminSwaps,
+		SharedSwapsPublished: s.sharedPublished,
 	}
 	for _, sess := range s.sessions {
 		st.FramesIngested += sess.next
@@ -977,6 +1153,7 @@ func (s *Server) snapshot() Stats {
 		st.DriftAudits += sess.driftAudits
 		st.DriftAuditFrames += sess.auditFrames
 		st.RecalibrationsDeferred += sess.recalDeferred
+		st.SharedSwapAdoptions += sess.sharedAdopted
 	}
 	st.EstimatedUSD = float64(st.FramesToCloud) * s.cfg.PerFrameUSD
 	st.BruteForceUSD = float64(st.Predictions) * float64(s.horizon) * float64(s.k) * s.cfg.PerFrameUSD

@@ -42,34 +42,34 @@ func newFleetServer(t *testing.T, fc *fleet.ArbiterConfig) (*Client, *Bundlewrap
 
 func TestSessionLifecycle(t *testing.T) {
 	c, bw := newFleetServer(t, nil)
-	id, err := c.CreateSession("cam-1")
+	id, err := c.CreateSession(tctx, "cam-1", "")
 	if err != nil || id != "cam-1" {
 		t.Fatalf("create = %q, %v", id, err)
 	}
-	gen, err := c.CreateSession("")
+	gen, err := c.CreateSession(tctx, "", "")
 	if err != nil || gen == "" || gen == "cam-1" {
 		t.Fatalf("generated id = %q, %v", gen, err)
 	}
-	if _, err := c.CreateSession("cam-1"); err == nil || !strings.Contains(err.Error(), "already exists") {
+	if _, err := c.CreateSession(tctx, "cam-1", ""); err == nil || !strings.Contains(err.Error(), "already exists") {
 		t.Fatalf("duplicate accepted: %v", err)
 	}
 
 	// Feed cam-1 and predict there; the default session must stay empty.
-	if _, err := c.PushFramesSession("cam-1", relayWindow(bw)); err != nil {
+	if _, err := c.PushFramesSession(tctx, "cam-1", relayWindow(bw)); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := c.PredictSession("cam-1", 0.95, 0.9)
+	resp, err := c.PredictSession(tctx, "cam-1", 0.95, 0.9)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(resp.Decisions) != 1 || !resp.Decisions[0].Relay {
 		t.Fatalf("imminent event not relayed on cam-1: %+v", resp.Decisions)
 	}
-	if _, err := c.Predict(0.95, 0.9); err == nil || !strings.Contains(err.Error(), "window not full") {
+	if _, err := c.Predict(tctx, 0.95, 0.9); err == nil || !strings.Contains(err.Error(), "window not full") {
 		t.Fatalf("default session shared cam-1's buffer: %v", err)
 	}
 
-	list, err := c.Sessions()
+	list, err := c.Sessions(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestSessionLifecycle(t *testing.T) {
 		t.Fatalf("per-session counters wrong: %+v", list)
 	}
 
-	st, err := c.Stats()
+	st, err := c.Stats(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,10 +91,10 @@ func TestSessionLifecycle(t *testing.T) {
 
 func TestSessionUnknownIs404(t *testing.T) {
 	c, bw := newFleetServer(t, nil)
-	if _, err := c.PushFramesSession("ghost", relayWindow(bw)); err == nil || !strings.Contains(err.Error(), "unknown session") {
+	if _, err := c.PushFramesSession(tctx, "ghost", relayWindow(bw)); err == nil || !strings.Contains(err.Error(), "unknown session") {
 		t.Fatalf("push to unknown session: %v", err)
 	}
-	if _, err := c.PredictSession("ghost", 0, 0); err == nil || !strings.Contains(err.Error(), "unknown session") {
+	if _, err := c.PredictSession(tctx, "ghost", 0, 0); err == nil || !strings.Contains(err.Error(), "unknown session") {
 		t.Fatalf("predict on unknown session: %v", err)
 	}
 }
@@ -107,10 +107,10 @@ func TestFleetAdmissionGate(t *testing.T) {
 		PerFrameUSD:     0.001,
 		GlobalBudgetUSD: 0.0001, // below any non-empty relay
 	})
-	if _, err := c.PushFrames(relayWindow(bw)); err != nil {
+	if _, err := c.PushFrames(tctx, relayWindow(bw)); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := c.Predict(0.95, 0.9)
+	resp, err := c.Predict(tctx, 0.95, 0.9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestFleetAdmissionGate(t *testing.T) {
 	if !d.Relay || !d.Deferred {
 		t.Fatalf("capped relay not deferred: %+v", d)
 	}
-	st, err := c.Stats()
+	st, err := c.Stats(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,10 +137,10 @@ func TestFleetAdmissionAllows(t *testing.T) {
 		PerFrameUSD:     0.001,
 		GlobalBudgetUSD: 100,
 	})
-	if _, err := c.PushFrames(relayWindow(bw)); err != nil {
+	if _, err := c.PushFrames(tctx, relayWindow(bw)); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := c.Predict(0.95, 0.9)
+	resp, err := c.Predict(tctx, 0.95, 0.9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestFleetAdmissionAllows(t *testing.T) {
 	if !d.Relay || d.Deferred {
 		t.Fatalf("affordable relay deferred: %+v", d)
 	}
-	st, err := c.Stats()
+	st, err := c.Stats(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,16 +169,16 @@ func TestSessionDelete(t *testing.T) {
 		SessionRatePerSec: 1,
 		SessionBurst:      100000,
 	})
-	if id, err := c.CreateSession("cam-1"); err != nil || id != "cam-1" {
+	if id, err := c.CreateSession(tctx, "cam-1", ""); err != nil || id != "cam-1" {
 		t.Fatalf("create = %q, %v", id, err)
 	}
-	if _, err := c.PushFramesSession("cam-1", relayWindow(bw)); err != nil {
+	if _, err := c.PushFramesSession(tctx, "cam-1", relayWindow(bw)); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.DeleteSession("cam-1"); err != nil {
+	if err := c.DeleteSession(tctx, "cam-1"); err != nil {
 		t.Fatal(err)
 	}
-	list, err := c.Sessions()
+	list, err := c.Sessions(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,19 +186,19 @@ func TestSessionDelete(t *testing.T) {
 		t.Fatalf("deleted session still listed: %+v", list)
 	}
 	// A fresh session under the same id has no leftover buffer.
-	if _, err := c.CreateSession("cam-1"); err != nil {
+	if _, err := c.CreateSession(tctx, "cam-1", ""); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.PredictSession("cam-1", 0.95, 0.9); err == nil ||
+	if _, err := c.PredictSession(tctx, "cam-1", 0.95, 0.9); err == nil ||
 		!strings.Contains(err.Error(), "window not full") {
 		t.Fatalf("recreated session inherited the old buffer: %v", err)
 	}
 	// Unknown and protected ids.
-	if err := c.DeleteSession("never-created"); err == nil || !strings.Contains(err.Error(), "404") &&
+	if err := c.DeleteSession(tctx, "never-created"); err == nil || !strings.Contains(err.Error(), "404") &&
 		!strings.Contains(err.Error(), "unknown session") {
 		t.Fatalf("unknown delete = %v", err)
 	}
-	if err := c.DeleteSession(DefaultSession); err == nil ||
+	if err := c.DeleteSession(tctx, DefaultSession); err == nil ||
 		!strings.Contains(err.Error(), "cannot be deleted") {
 		t.Fatalf("default delete = %v", err)
 	}
@@ -215,16 +215,16 @@ func TestSessionDeleteReleasesBucket(t *testing.T) {
 	})
 	predictOnce := func() Decision {
 		t.Helper()
-		if _, err := c.PushFramesSession("cam-1", relayWindow(bw)); err != nil {
+		if _, err := c.PushFramesSession(tctx, "cam-1", relayWindow(bw)); err != nil {
 			t.Fatal(err)
 		}
-		resp, err := c.PredictSession("cam-1", 0.95, 0.9)
+		resp, err := c.PredictSession(tctx, "cam-1", 0.95, 0.9)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return resp.Decisions[0]
 	}
-	if _, err := c.CreateSession("cam-1"); err != nil {
+	if _, err := c.CreateSession(tctx, "cam-1", ""); err != nil {
 		t.Fatal(err)
 	}
 	if d := predictOnce(); !d.Relay || d.Deferred {
@@ -233,10 +233,10 @@ func TestSessionDeleteReleasesBucket(t *testing.T) {
 	if d := predictOnce(); !d.Relay || !d.Deferred {
 		t.Fatalf("drained bucket still admitted: %+v", d)
 	}
-	if err := c.DeleteSession("cam-1"); err != nil {
+	if err := c.DeleteSession(tctx, "cam-1"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.CreateSession("cam-1"); err != nil {
+	if _, err := c.CreateSession(tctx, "cam-1", ""); err != nil {
 		t.Fatal(err)
 	}
 	if d := predictOnce(); !d.Relay || d.Deferred {

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"eventhit/internal/conformal"
 	"eventhit/internal/drift"
 	"eventhit/internal/strategy"
 )
@@ -43,6 +44,7 @@ const (
 	swapOriginBoot          = "boot"
 	swapOriginAdmin         = "admin"
 	swapOriginRecalibration = "recalibration"
+	swapOriginShared        = "shared"
 )
 
 // bundleUnit is the atomically swappable serving state: the bundle view
@@ -308,9 +310,11 @@ func (a *adapter) noteBuffered() {
 }
 
 // step advances the episode state machine and attempts a recalibration
-// when due. It returns the freshly built bundle unit to swap in (nil when
-// nothing is due or the buffer is not ready yet).
-func (a *adapter) step(s *Server, u *bundleUnit) *bundleUnit {
+// when due. It returns the freshly built bundle unit to swap in plus the
+// classifier it carries — the classifier is what a scene-tagged session
+// publishes to its fleet siblings (nil, nil when nothing is due or the
+// buffer is not ready yet).
+func (a *adapter) step(s *Server, u *bundleUnit) (*bundleUnit, *conformal.Classifier) {
 	if a.mon.InEpisode() {
 		if !a.episodeOpen {
 			a.episodeOpen = true
@@ -323,7 +327,7 @@ func (a *adapter) step(s *Server, u *bundleUnit) *bundleUnit {
 		a.fresh = 0
 	}
 	if !a.episodeOpen || a.fresh < s.cfg.Adapt.MinFresh {
-		return nil
+		return nil, nil
 	}
 	cls, err := a.rec.RebuildRecent(a.fresh)
 	if err != nil {
@@ -331,18 +335,18 @@ func (a *adapter) step(s *Server, u *bundleUnit) *bundleUnit {
 			// Retryable: the post-alarm window has no positive for some
 			// event yet. Keep buffering; the next labeled outcome retries.
 			a.recalDeferred++
-			return nil
+			return nil, nil
 		}
 		// Anything else is unexpected with a non-empty buffer; drop the
 		// attempt and let the episode keep buffering.
 		a.recalDeferred++
-		return nil
+		return nil, nil
 	}
 	nb, err := u.bundle.WithClassifier(cls)
 	if err != nil {
 		// Cannot happen: the classifier was cut for this model's k.
 		a.recalDeferred++
-		return nil
+		return nil, nil
 	}
 	a.mon.Reset()
 	a.episodeOpen = false
@@ -352,5 +356,59 @@ func (a *adapter) step(s *Server, u *bundleUnit) *bundleUnit {
 	nu.bundle = nb
 	nu.gen = s.gens.Add(1)
 	nu.origin = swapOriginRecalibration
-	return &nu
+	return &nu, cls
+}
+
+// AdoptClassifier installs cls into every session tagged with scene except
+// exceptSession (the publishing session, which already swapped itself).
+// Each adopting session gets a fresh unit built from its CURRENT bundle
+// with the sibling's calibration grafted on, a new swap generation, and a
+// rebased adaptation state — exactly the rebase a local recalibration
+// performs, because the adopted calibration invalidates buffered scores the
+// same way. Returns how many sessions adopted. Scene-less sessions never
+// adopt: "" is not a scene.
+//
+// The cluster tier calls this on sibling WORKERS when a scene-tagged
+// session recalibrates anywhere in the fleet; handlePredict calls it
+// locally on the publishing worker. Lock order matches Swap: relayMu
+// (rebase touches adapter state) before mu (session table walk).
+func (s *Server) AdoptClassifier(scene string, cls *conformal.Classifier, exceptSession string) (int, error) {
+	if scene == "" {
+		return 0, fmt.Errorf("serve: adopt: empty scene")
+	}
+	if cls == nil {
+		return 0, fmt.Errorf("serve: adopt: nil classifier")
+	}
+	if cn := cls.NumEvents(); cn != s.k {
+		return 0, fmt.Errorf("serve: adopt: classifier covers %d events, server expects %d", cn, s.k)
+	}
+	if s.relay != nil {
+		s.relayMu.Lock()
+		defer s.relayMu.Unlock()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	adopted := 0
+	for _, id := range s.order {
+		sess := s.sessions[id]
+		if sess.scene != scene || sess.id == exceptSession {
+			continue
+		}
+		u := s.resolveUnit(sess)
+		nb, err := u.bundle.WithClassifier(cls)
+		if err != nil {
+			return adopted, fmt.Errorf("serve: adopt into session %q: %w", sess.id, err)
+		}
+		nu := *u
+		nu.bundle = nb
+		nu.gen = s.gens.Add(1)
+		nu.origin = swapOriginShared
+		sess.unit.Store(&nu)
+		if sess.ad != nil {
+			sess.ad.rebase()
+		}
+		sess.sharedAdopted++
+		adopted++
+	}
+	return adopted, nil
 }

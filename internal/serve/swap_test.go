@@ -45,7 +45,7 @@ func fillWindow(t *testing.T, c *Client, bw *Bundlewrap, start int) {
 	for f := start; f < start+10; f++ {
 		frames = append(frames, bw.ex.FrameVector(f, nil))
 	}
-	if _, err := c.PushFrames(frames); err != nil {
+	if _, err := c.PushFrames(tctx, frames); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -53,13 +53,13 @@ func fillWindow(t *testing.T, c *Client, bw *Bundlewrap, start int) {
 func TestModelPushRoundTrip(t *testing.T) {
 	_, c, bw := newSwapServer(t, Config{})
 	fillWindow(t, c, bw, 300)
-	before, err := c.Predict(0.9, 0.9)
+	before, err := c.Predict(tctx, 0.9, 0.9)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Push an identical bundle: the swap must succeed, bump the generation,
 	// and serve identical decisions afterwards.
-	mr, err := c.PushModel(bw.b)
+	mr, err := c.PushModel(tctx, bw.b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestModelPushRoundTrip(t *testing.T) {
 	if mr.Params != bw.b.Model.NumParams() {
 		t.Fatalf("params = %d, want %d", mr.Params, bw.b.Model.NumParams())
 	}
-	after, err := c.Predict(0.9, 0.9)
+	after, err := c.Predict(tctx, 0.9, 0.9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestModelPushRoundTrip(t *testing.T) {
 		after.Decisions[0].Start != before.Decisions[0].Start {
 		t.Fatalf("identical bundle changed the decision: %+v vs %+v", after, before)
 	}
-	st, err := c.Stats()
+	st, err := c.Stats(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,10 +85,10 @@ func TestModelPushRoundTrip(t *testing.T) {
 		t.Fatalf("swap stats = %+v", st)
 	}
 	// New sessions start on the swapped-in unit.
-	if _, err := c.CreateSession("cam-2"); err != nil {
+	if _, err := c.CreateSession(tctx, "cam-2", ""); err != nil {
 		t.Fatal(err)
 	}
-	mr2, err := c.PushModel(bw.b)
+	mr2, err := c.PushModel(tctx, bw.b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,12 +137,12 @@ func TestSwapRejectsMismatchedGeometry(t *testing.T) {
 		if _, err := srv.Swap(bad, swapOriginAdmin); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
 			t.Fatalf("%s: Swap error = %v, want %q", tc.name, err, tc.wantErr)
 		}
-		if _, err := c.PushModel(bad); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+		if _, err := c.PushModel(tctx, bad); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
 			t.Fatalf("%s: PushModel error = %v, want %q", tc.name, err, tc.wantErr)
 		}
 	}
 	// Nothing was installed: generation still 0 and predicts still work.
-	st, err := c.Stats()
+	st, err := c.Stats(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestSwapRejectsMismatchedGeometry(t *testing.T) {
 		t.Fatalf("rejected swaps advanced state: %+v", st)
 	}
 	fillWindow(t, c, bw, 300)
-	if _, err := c.Predict(0.9, 0.9); err != nil {
+	if _, err := c.Predict(tctx, 0.9, 0.9); err != nil {
 		t.Fatalf("predict after rejected swaps: %v", err)
 	}
 }
@@ -163,7 +163,7 @@ func TestSwapRejectsMismatchedGeometry(t *testing.T) {
 func TestSwapUnderConcurrentPredictLoad(t *testing.T) {
 	srv, c, bw := newSwapServer(t, Config{})
 	fillWindow(t, c, bw, 300)
-	want, err := c.Predict(0.9, 0.9)
+	want, err := c.Predict(tctx, 0.9, 0.9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +179,7 @@ func TestSwapUnderConcurrentPredictLoad(t *testing.T) {
 					return
 				default:
 				}
-				r, err := c.Predict(0.9, 0.9)
+				r, err := c.Predict(tctx, 0.9, 0.9)
 				if err != nil {
 					t.Error(err)
 					return
@@ -201,7 +201,7 @@ func TestSwapUnderConcurrentPredictLoad(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
-	st, err := c.Stats()
+	st, err := c.Stats(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,16 +215,16 @@ func TestSwapUnderConcurrentPredictLoad(t *testing.T) {
 func TestQuantizedServingSwap(t *testing.T) {
 	srv, c, bw := newSwapServer(t, Config{Quantized: true})
 	fillWindow(t, c, bw, 300)
-	if _, err := c.Predict(0.9, 0.9); err != nil {
+	if _, err := c.Predict(tctx, 0.9, 0.9); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := srv.Swap(bw.b.Clone(), swapOriginAdmin); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Predict(0.9, 0.9); err != nil {
+	if _, err := c.Predict(tctx, 0.9, 0.9); err != nil {
 		t.Fatalf("predict after quantized swap: %v", err)
 	}
-	st, err := c.Stats()
+	st, err := c.Stats(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,6 +31,13 @@
 #   cache      regenerate BENCH_cache.json (the cache epsilon x TTL sweep)
 #              at two parallelism levels, byte-identical to the committed
 #              artifact
+#   cluster    the cluster tier under -race (ring, lease coordinator,
+#              remote cache, front proxy, cross-worker shared swap), the
+#              BENCH_cluster.json schema + acceptance tests, then
+#              regenerate the sweep and byte-compare to the committed
+#              artifact — the sweep itself byte-compares the simulated
+#              cluster report at 1/2/4 workers against single-process
+#              fleet.Run (report_identical rows)
 #   speed      the predict fast-path gates: the BENCH_speed.json schema and
 #              acceptance tests, the deterministic parity block regenerated
 #              twice and byte-compared, and a benchstat-style perf gate that
@@ -93,6 +100,15 @@ go run ./cmd/eventhitfleet -cachesweep -quick -streams 4 -frames 12000 -seed 5 \
     -parallelism 4 -cacheout "$tmpdir/cache_p4.json" >/dev/null
 cmp "$tmpdir/cache_p1.json" "$tmpdir/cache_p4.json"
 cmp "$tmpdir/cache_p1.json" BENCH_cache.json
+
+echo "== cluster tier (race: ring, leases, remote cache, front, shared swap) =="
+go test -race ./internal/cluster/ -count=1
+go test ./internal/harness/ -run 'TestClusterGoldenJSONShape|TestClusterArtifact|TestClusterSweepQuick' -count=1
+
+echo "== BENCH_cluster.json regeneration (sim report byte-identical at 1/2/4 workers) =="
+go run ./cmd/eventhitcluster -sim -streams 8 -frames 12000 -seed 5 -budget 0.5 \
+    -out "$tmpdir/cluster.json" >/dev/null
+cmp "$tmpdir/cluster.json" BENCH_cluster.json
 
 echo "== scenario corpus golden gate (via the shipped binary) =="
 go run ./cmd/eventhitscenario -corpus
