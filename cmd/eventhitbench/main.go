@@ -28,10 +28,21 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"eventhit/internal/harness"
 )
+
+// validExperiments lists every -exp value run() accepts, in the order the
+// usage string groups them; the unknown-experiment error enumerates it.
+var validExperiments = []string{
+	"table1", "table2", "fig4", "fig4all", "fig5", "fig6", "fig7", "fig8",
+	"fig9", "fig10", "resources", "loss", "transfer", "density", "operate",
+	"validity", "tune", "geom", "summary", "multi", "drift", "ablation",
+	"parbench", "resilience", "cache", "speed", "speedparity", "cascade",
+	"all",
+}
 
 func writeJSONFile(path string, v interface{}) error {
 	f, err := os.Create(path)
@@ -46,7 +57,7 @@ func writeJSONFile(path string, v interface{}) error {
 
 func main() {
 	var (
-		exp         = flag.String("exp", "", "experiment to run (table1, table2, fig4[all], fig5..fig10, resources, ablation, drift, multi, geom, validity, operate, tune, summary, loss, parbench, resilience, cache, speed, speedparity, all)")
+		exp         = flag.String("exp", "", "experiment to run (table1, table2, fig4[all], fig5..fig10, resources, ablation, drift, multi, geom, validity, operate, tune, summary, loss, parbench, resilience, cache, speed, speedparity, cascade, all)")
 		task        = flag.String("task", "TA1", "task for single-task experiments (fig4, resources, loss)")
 		trials      = flag.Int("trials", 3, "independent trials to average (the paper uses 10)")
 		seed        = flag.Int64("seed", 1, "base random seed")
@@ -58,6 +69,7 @@ func main() {
 		resOut      = flag.String("resout", "BENCH_resilience.json", "output file for the resilience experiment")
 		cacheOut    = flag.String("cacheout", "BENCH_cache.json", "output file for the cache experiment")
 		speedOut    = flag.String("speedout", "BENCH_speed.json", "output file for the speed experiment (speedparity prints to stdout)")
+		cascadeOut  = flag.String("cascadeout", "BENCH_cascade.json", "output file for the cascade experiment")
 		stride      = flag.Int("stride", 1, "speed experiment: frames the anchor advances between predictions")
 		anchors     = flag.Int("anchors", 1500, "speed experiment: max predictions timed per path")
 		repeats     = flag.Int("repeats", 3, "speed experiment: timing repeats per path (best-of)")
@@ -199,6 +211,16 @@ func main() {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
 			return enc.Encode(res)
+		case "cascade":
+			res, err := harness.CascadeSweep(*task, opt, nil, nil, nil, *seed, os.Stdout)
+			if err != nil {
+				return err
+			}
+			if err := writeJSONFile(*cascadeOut, res); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *cascadeOut)
+			return nil
 		case "parbench":
 			res, err := harness.ParallelBench(opt, *seed, *parallelism, *trials, os.Stdout)
 			if err != nil {
@@ -217,7 +239,7 @@ func main() {
 			_, err = harness.TrainLossCurve(t, opt, *seed, os.Stdout)
 			return err
 		default:
-			return fmt.Errorf("unknown experiment %q", name)
+			return fmt.Errorf("unknown experiment %q (valid: %s)", name, strings.Join(validExperiments, ", "))
 		}
 	}
 

@@ -1,0 +1,113 @@
+package conformal
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SetClassifier is the two-sided extension of C-CLASSIFY the early-
+// inference cascade needs. The one-sided Classifier ranks a new score only
+// against the positive calibration population, which yields a single
+// thresholded bit; a cascade rung must instead know whether a score is
+// DECISIVE — conformally consistent with exactly one of the two labels.
+// SetClassifier therefore calibrates against both populations and returns
+// a conformal label set over {occur, absent}: a label enters the set when
+// the new score is not too nonconforming for that label's calibration
+// records. A singleton set is a confident answer the rung may act on; an
+// empty or two-element set is ambiguity the cascade escalates.
+type SetClassifier struct {
+	// pos[k] and neg[k] are the existence scores b_k of the calibration
+	// records where event k does / does not occur, sorted ascending.
+	pos [][]float64
+	neg [][]float64
+}
+
+// NewSetClassifier calibrates from per-record existence scores and ground
+// truth labels (same inputs as NewClassifier). Every event needs at least
+// one positive AND one negative calibration record — without both
+// populations no two-sided p-value is defined.
+func NewSetClassifier(calibB [][]float64, calibLabel [][]bool) (*SetClassifier, error) {
+	if len(calibB) == 0 || len(calibB) != len(calibLabel) {
+		return nil, fmt.Errorf("conformal: calibration sets empty or mismatched (%d vs %d)",
+			len(calibB), len(calibLabel))
+	}
+	k := len(calibB[0])
+	c := &SetClassifier{pos: make([][]float64, k), neg: make([][]float64, k)}
+	for n := range calibB {
+		if len(calibB[n]) != k || len(calibLabel[n]) != k {
+			return nil, fmt.Errorf("conformal: record %d has inconsistent event count", n)
+		}
+		for j := 0; j < k; j++ {
+			if calibLabel[n][j] {
+				c.pos[j] = append(c.pos[j], calibB[n][j])
+			} else {
+				c.neg[j] = append(c.neg[j], calibB[n][j])
+			}
+		}
+	}
+	for j := 0; j < k; j++ {
+		if len(c.pos[j]) == 0 {
+			return nil, fmt.Errorf("conformal: event %d has no positive calibration records", j)
+		}
+		if len(c.neg[j]) == 0 {
+			return nil, fmt.Errorf("conformal: event %d has no negative calibration records", j)
+		}
+		sort.Float64s(c.pos[j])
+		sort.Float64s(c.neg[j])
+	}
+	return c, nil
+}
+
+// NumEvents returns the number of calibrated events K.
+func (c *SetClassifier) NumEvents() int { return len(c.pos) }
+
+// NumPositives and NumNegatives report the calibration population sizes
+// for event k.
+func (c *SetClassifier) NumPositives(k int) int { return len(c.pos[k]) }
+func (c *SetClassifier) NumNegatives(k int) int { return len(c.neg[k]) }
+
+// PValuePos is the p-value of score b under the "occur" hypothesis for
+// event k: with nonconformity a = 1-b, the fraction of positive
+// calibration scores at or below b (the same statistic Classifier.PValue
+// computes).
+func (c *SetClassifier) PValuePos(k int, b float64) float64 {
+	ps := c.pos[k]
+	cnt := sort.SearchFloat64s(ps, b)
+	for cnt < len(ps) && ps[cnt] == b {
+		cnt++
+	}
+	return float64(cnt) / float64(len(ps)+1)
+}
+
+// PValueNeg is the p-value of score b under the "absent" hypothesis for
+// event k: with nonconformity a = b, the fraction of negative calibration
+// scores at or above b.
+func (c *SetClassifier) PValueNeg(k int, b float64) float64 {
+	ns := c.neg[k]
+	// count of sorted scores >= b
+	cnt := len(ns) - sort.SearchFloat64s(ns, b)
+	return float64(cnt) / float64(len(ns)+1)
+}
+
+// LabelSet is a conformal set over the two existence labels of one event.
+type LabelSet struct {
+	Occur  bool
+	Absent bool
+}
+
+// Singleton reports whether exactly one label survived — the cascade's
+// decisiveness test. Its value is then Occur.
+func (s LabelSet) Singleton() bool { return s.Occur != s.Absent }
+
+// Set returns the conformal label set for event k at the given confidence:
+// a label is included when its p-value is at least 1-confidence (the same
+// inclusion rule as Equation (9), applied to both hypotheses). Higher
+// confidence admits more labels, so sets grow — and singletons get rarer
+// but more trustworthy: among exchangeable positives, at most a
+// 1-confidence fraction yields a set that excludes "occur".
+func (c *SetClassifier) Set(k int, b, confidence float64) LabelSet {
+	return LabelSet{
+		Occur:  c.PValuePos(k, b) >= 1-confidence,
+		Absent: c.PValueNeg(k, b) >= 1-confidence,
+	}
+}

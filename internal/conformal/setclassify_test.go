@@ -1,0 +1,131 @@
+package conformal
+
+import (
+	"math"
+	"testing"
+)
+
+// setFixture calibrates one event from explicit positive and negative
+// score populations.
+func setFixture(t *testing.T, pos, neg []float64) *SetClassifier {
+	t.Helper()
+	var b [][]float64
+	var l [][]bool
+	for _, v := range pos {
+		b = append(b, []float64{v})
+		l = append(l, []bool{true})
+	}
+	for _, v := range neg {
+		b = append(b, []float64{v})
+		l = append(l, []bool{false})
+	}
+	c, err := NewSetClassifier(b, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSetClassifierValidation(t *testing.T) {
+	if _, err := NewSetClassifier(nil, nil); err == nil {
+		t.Fatal("empty calibration accepted")
+	}
+	// All-positive: no negative population for the event.
+	if _, err := NewSetClassifier([][]float64{{0.9}}, [][]bool{{true}}); err == nil {
+		t.Fatal("event without negatives accepted")
+	}
+	// All-negative: no positive population.
+	if _, err := NewSetClassifier([][]float64{{0.1}}, [][]bool{{false}}); err == nil {
+		t.Fatal("event without positives accepted")
+	}
+	if _, err := NewSetClassifier([][]float64{{0.1}, {0.2, 0.3}}, [][]bool{{false}, {true}}); err == nil {
+		t.Fatal("ragged record accepted")
+	}
+}
+
+func TestSetClassifierPValues(t *testing.T) {
+	c := setFixture(t, []float64{0.6, 0.7, 0.8, 0.9}, []float64{0.1, 0.2, 0.3, 0.4})
+	// b below every positive score: p_pos = 0/(4+1).
+	if got := c.PValuePos(0, 0.5); got != 0 {
+		t.Fatalf("PValuePos(0.5) = %v, want 0", got)
+	}
+	// b at or above every positive score: p_pos = 4/5.
+	if got := c.PValuePos(0, 0.9); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("PValuePos(0.9) = %v, want 0.8", got)
+	}
+	// b below every negative score: all 4 negatives are >= b.
+	if got := c.PValueNeg(0, 0.05); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("PValueNeg(0.05) = %v, want 0.8", got)
+	}
+	// b above every negative score: none >= b.
+	if got := c.PValueNeg(0, 0.5); got != 0 {
+		t.Fatalf("PValueNeg(0.5) = %v, want 0", got)
+	}
+	// Ties count on the inclusive side for both hypotheses.
+	if got := c.PValuePos(0, 0.7); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("PValuePos(0.7) = %v, want 0.4", got)
+	}
+	if got := c.PValueNeg(0, 0.3); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("PValueNeg(0.3) = %v, want 0.4", got)
+	}
+}
+
+func TestSetClassifierDecisiveAndAmbiguous(t *testing.T) {
+	// Well-separated populations: scores near the extremes are decisive,
+	// scores in the overlap gap are ambiguous (empty set at high
+	// strictness, both labels at low strictness).
+	c := setFixture(t, []float64{0.7, 0.8, 0.85, 0.9, 0.95}, []float64{0.05, 0.1, 0.15, 0.2, 0.25})
+
+	// A clearly-negative score: {absent} singleton at confidence 0.9.
+	s := c.Set(0, 0.1, 0.9)
+	if s.Occur || !s.Absent || !s.Singleton() {
+		t.Fatalf("low score set = %+v, want singleton absent", s)
+	}
+	// A clearly-positive score: {occur} singleton.
+	s = c.Set(0, 0.9, 0.9)
+	if !s.Occur || s.Absent || !s.Singleton() {
+		t.Fatalf("high score set = %+v, want singleton occur", s)
+	}
+	// A mid-gap score at low confidence excludes both labels: not a
+	// singleton, the cascade escalates.
+	s = c.Set(0, 0.45, 0.1)
+	if s.Singleton() {
+		t.Fatalf("gap score set = %+v, want non-singleton", s)
+	}
+	// Overlapping populations: a score conforming with both yields the
+	// two-element set — ambiguity the cascade escalates.
+	o := setFixture(t, []float64{0.3, 0.5, 0.7}, []float64{0.2, 0.4, 0.6})
+	s = o.Set(0, 0.45, 0.9)
+	if !s.Occur || !s.Absent {
+		t.Fatalf("overlap score set = %+v, want both labels", s)
+	}
+}
+
+// TestSetClassifierValidity: among exchangeable positives, the fraction
+// whose set excludes "occur" is at most 1-confidence (plus the finite-
+// sample 1/(n+1) slack) — the marginal guarantee the cascade's safe-exit
+// argument rests on.
+func TestSetClassifierValidity(t *testing.T) {
+	// Leave-one-out over an arithmetic positive population.
+	n := 99
+	var pos []float64
+	for i := 0; i < n; i++ {
+		pos = append(pos, float64(i+1)/float64(n+1))
+	}
+	for _, conf := range []float64{0.9, 0.95, 0.98} {
+		excluded := 0
+		for i := 0; i < n; i++ {
+			rest := make([]float64, 0, n-1)
+			rest = append(rest, pos[:i]...)
+			rest = append(rest, pos[i+1:]...)
+			c := &SetClassifier{pos: [][]float64{rest}, neg: [][]float64{{0}}}
+			if !c.Set(0, pos[i], conf).Occur {
+				excluded++
+			}
+		}
+		bound := (1 - conf) + 1/float64(n)
+		if frac := float64(excluded) / float64(n); frac > bound+1e-9 {
+			t.Fatalf("confidence %v: %.3f of positives excluded, bound %.3f", conf, frac, bound)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"eventhit/internal/cascade"
+)
+
+// cascadeGoldenResult is the hand-built fixture for the BENCH_cascade.json
+// schema test; values are fixed so the golden only moves when the schema
+// does.
+func cascadeGoldenResult() CascadeResult {
+	pt := CascadePoint{
+		Ladder: "tiny+medium", ExitConfidence: 0.95, MaxWidthFrac: 0.8,
+		REC: 0.82, SPL: 0.09, RECDelta: 0, SPLDelta: 0,
+		Horizons: 200, MeanPredictMS: 0.3, ComputeFrac: 0.15, ComputeCut: 0.85,
+		Rungs: []CascadeRungStat{
+			{
+				Name: "tiny", HiddenScale: 0.25, WindowStride: 4,
+				CostMS: 0.035, Exits: 172, ExitRate: 0.86, ComputeShare: 0.12,
+			},
+			{
+				Name: "full", HiddenScale: 1, WindowStride: 1,
+				CostMS: 2, Exits: 28, ExitRate: 0.14, ComputeShare: 0.88,
+			},
+		},
+	}
+	return CascadeResult{
+		Task: "TA1", Window: 25, Horizon: 500, Seed: 1,
+		Confidence: 0.9, Coverage: 0.9,
+		RECTol: 0.02, MinComputeCut: 0.3,
+		BaselineREC: 0.82, BaselineSPL: 0.09,
+		Points:   []CascadePoint{pt},
+		Selected: pt,
+	}
+}
+
+// TestCascadeGoldenJSONShape pins the BENCH_cascade.json schema: exact
+// field names, order and nesting.
+func TestCascadeGoldenJSONShape(t *testing.T) {
+	got, err := json.MarshalIndent(cascadeGoldenResult(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "cascade_golden.json")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("BENCH_cascade.json schema drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestCascadeArtifact holds the committed BENCH_cascade.json to the
+// issue's acceptance bar: the selected operating point matches plain
+// EventHit REC within CascadeRECTol while cutting mean per-horizon
+// predict compute by at least CascadeMinComputeCut, and every point's
+// integer exit counts sum exactly to its horizons (so exit rates sum to
+// 1). Regenerate with `go run ./cmd/eventhitbench -exp cascade -quick
+// -seed 1` if the artifact goes stale.
+func TestCascadeArtifact(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_cascade.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var res CascadeResult
+	if err := dec.Decode(&res); err != nil {
+		t.Fatalf("BENCH_cascade.json does not match the CascadeResult schema: %v", err)
+	}
+	if res.RECTol != CascadeRECTol || res.MinComputeCut != CascadeMinComputeCut {
+		t.Fatalf("artifact bars (%v, %v) drifted from the pinned constants (%v, %v)",
+			res.RECTol, res.MinComputeCut, CascadeRECTol, CascadeMinComputeCut)
+	}
+	if res.BaselineREC <= 0 || res.BaselineREC > 1 {
+		t.Fatalf("degenerate baseline REC %v", res.BaselineREC)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("artifact carries no sweep points")
+	}
+	for _, p := range res.Points {
+		if p.Horizons <= 0 || len(p.Rungs) < 2 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+		if p.Rungs[len(p.Rungs)-1].Name != "full" {
+			t.Fatalf("point %s/%v: last rung is %q, not the full model",
+				p.Ladder, p.ExitConfidence, p.Rungs[len(p.Rungs)-1].Name)
+		}
+		var exits int64
+		rateSum, shareSum := 0.0, 0.0
+		for _, r := range p.Rungs {
+			if r.Exits < 0 || r.CostMS <= 0 {
+				t.Fatalf("point %s: degenerate rung %+v", p.Ladder, r)
+			}
+			exits += r.Exits
+			rateSum += r.ExitRate
+			shareSum += r.ComputeShare
+		}
+		if exits != p.Horizons {
+			t.Fatalf("point %s conf=%v width=%v: exits sum to %d, horizons %d",
+				p.Ladder, p.ExitConfidence, p.MaxWidthFrac, exits, p.Horizons)
+		}
+		if math.Abs(rateSum-1) > 1e-9 {
+			t.Fatalf("point %s: exit rates sum to %v, want 1", p.Ladder, rateSum)
+		}
+		if math.Abs(shareSum-1) > 1e-9 {
+			t.Fatalf("point %s: compute shares sum to %v, want 1", p.Ladder, shareSum)
+		}
+		if math.Abs((1-p.ComputeFrac)-p.ComputeCut) > 1e-9 {
+			t.Fatalf("point %s: compute cut %v inconsistent with frac %v", p.Ladder, p.ComputeCut, p.ComputeFrac)
+		}
+	}
+	sel := res.Selected
+	if math.Abs(sel.RECDelta) > res.RECTol {
+		t.Fatalf("selected point REC delta %.4f exceeds the %.2f acceptance bound", sel.RECDelta, res.RECTol)
+	}
+	if sel.ComputeCut < res.MinComputeCut {
+		t.Fatalf("selected point compute cut %.2f below the %.0f%% acceptance bound",
+			sel.ComputeCut, 100*res.MinComputeCut)
+	}
+}
+
+// TestCascadeSweepQuick runs the full default sweep on a quick training
+// twice — harness parallelism 1 and 4 — and requires byte-identical JSON,
+// the committed-artifact determinism gate in in-process form.
+func TestCascadeSweepQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model ladder per sweep cell")
+	}
+	runJSON := func(par int) []byte {
+		t.Helper()
+		prev := SetParallelism(par)
+		defer SetParallelism(prev)
+		var buf bytes.Buffer
+		res, err := CascadeSweep("TA1", Quick(), nil, nil, nil, 1, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() == 0 {
+			t.Fatal("sweep rendered no table")
+		}
+		want := len(CascadeLadders()) * len(CascadeExitConfidences()) * len(CascadeWidthFracs())
+		if len(res.Points) != want {
+			t.Fatalf("sweep produced %d points, want %d", len(res.Points), want)
+		}
+		for _, p := range res.Points {
+			var exits int64
+			for _, r := range p.Rungs {
+				exits += r.Exits
+			}
+			if exits != p.Horizons {
+				t.Fatalf("point %s: exits %d != horizons %d", p.Ladder, exits, p.Horizons)
+			}
+		}
+		if math.Abs(res.Selected.RECDelta) > CascadeRECTol || res.Selected.ComputeCut < CascadeMinComputeCut {
+			t.Fatalf("selected point outside bounds: %+v", res.Selected)
+		}
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	p1 := runJSON(1)
+	p4 := runJSON(4)
+	if !bytes.Equal(p1, p4) {
+		t.Fatal("cascade sweep not byte-identical at parallelism 1 vs 4")
+	}
+}
+
+// TestNewCascadeHelper: the harness constructor inherits the
+// environment's training discipline and yields a serving ladder.
+func TestNewCascadeHelper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	task, err := TaskByName("TA10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnv(task, tiny(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	casc, err := NewCascade(env, cascade.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if casc.Name() != cascade.Name {
+		t.Fatalf("name %q", casc.Name())
+	}
+	pt, err := env.Eval(casc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.REC < 0 && pt.SPL < 0 {
+		t.Fatalf("degenerate cascade point %+v", pt)
+	}
+	s := casc.Stats()
+	if s.Horizons != int64(len(env.Splits.Test)) {
+		t.Fatalf("cascade served %d horizons, want %d", s.Horizons, len(env.Splits.Test))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 
+	"eventhit/internal/cascade"
 	"eventhit/internal/metrics"
 	"eventhit/internal/strategy"
 )
@@ -105,6 +106,18 @@ func Fig4(task Task, opt Options, trials int, seed int64, w io.Writer) (*Fig4Res
 				addPoint(fmt.Sprintf("EHO[E%d]", id), Point{REC: perREC[j], SPL: perSPL[j]})
 			}
 		}
+		// EH-CASC: the early-inference ladder at its default operating
+		// point. The two-sided exit sets need both label populations per
+		// event in the calibration split; tasks where an event is dense
+		// enough to leave no negatives simply omit the point (as APP-VAE
+		// is omitted where its window regime does not apply).
+		if casc, err := NewCascade(env, cascade.DefaultConfig()); err == nil {
+			cascPt, err := env.Eval(casc, 0)
+			if err != nil {
+				return err
+			}
+			addPoint(cascade.Name, cascPt)
+		}
 		optPt, err := env.Eval(strategy.Opt{}, 0)
 		if err != nil {
 			return err
@@ -176,7 +189,7 @@ func (r *Fig4Result) Render(w io.Writer) {
 	r.RenderPlot(w)
 	t := NewTable(fmt.Sprintf("Figure 4 (%s) — single-point algorithms (avg of %d trials)", r.Task, r.Trials),
 		"algorithm", "REC", "SPL")
-	for _, name := range []string{"OPT", "BF", "EHO", "APP-VAE200", "APP-VAE1500"} {
+	for _, name := range []string{"OPT", "BF", "EHO", "EH-CASC", "APP-VAE200", "APP-VAE1500"} {
 		if p, ok := r.Points[name]; ok {
 			t.Addf(name, p.REC, p.SPL)
 		}

@@ -21,6 +21,7 @@ package pipeline
 import (
 	"fmt"
 
+	"eventhit/internal/cascade"
 	"eventhit/internal/cicache"
 	"eventhit/internal/cloud"
 	"eventhit/internal/dataset"
@@ -84,6 +85,14 @@ type Costs struct {
 	// uncached run. The source must expose per-frame extraction
 	// (features.FrameSource) or New fails.
 	Incremental bool
+	// Cascade, when non-nil, serves predictions from an early-inference
+	// model ladder (internal/cascade) instead of the strategy argument,
+	// which must then be nil (or the cascade itself). Each horizon is
+	// charged the cascade's ACTUAL rung-weighted predict cost in place of
+	// the flat PredictMS, so Figure-9's local-compute share reflects where
+	// the ladder really stopped. Mutually exclusive with Quantized — the
+	// cascade's own Quantized knob owns per-rung quantization.
+	Cascade *cascade.Cascade
 	// Cache, when non-nil, interposes a content-addressed CI result cache
 	// (internal/cicache) in front of the backend: relays are keyed by a
 	// quantized signature of the covariate window and a hit is served from
@@ -237,6 +246,9 @@ type Marshaller struct {
 	// cached is the dedup layer in front of ci (nil when Costs.Cache is
 	// unset); the resilient client calls through it.
 	cached *cloud.CachedBackend
+	// casc is Costs.Cascade; when set it is also strat, and per-horizon
+	// predict charges come from PredictCosted instead of Costs.PredictMS.
+	casc *cascade.Cascade
 
 	// Stage histograms and run counters (see Costs.Metrics). The stage label
 	// matches Figure 10's decomposition: scan, predict, relay.
@@ -283,6 +295,15 @@ func New(ex dataset.Source, s strategy.Strategy, ci cloud.Backend, cfg dataset.C
 		src = cs
 	}
 	strat := s
+	if costs.Cascade != nil {
+		if costs.Quantized {
+			return nil, fmt.Errorf("pipeline: Cascade and Quantized both set; Cascade.Quantized owns per-rung quantization")
+		}
+		if s != nil && s != strategy.Strategy(costs.Cascade) {
+			return nil, fmt.Errorf("pipeline: both a strategy (%s) and a cascade configured", s.Name())
+		}
+		strat = costs.Cascade
+	}
 	if costs.Quantized {
 		q, ok := s.(strategy.Quantizable)
 		if !ok {
@@ -312,13 +333,16 @@ func New(ex dataset.Source, s strategy.Strategy, ci cloud.Backend, cfg dataset.C
 	if reg == nil {
 		reg = obs.Default()
 	}
+	if costs.Cascade != nil {
+		costs.Cascade.Register(reg, nil)
+	}
 	stageH := func(stage string) *obs.Histogram {
 		return reg.Histogram("eventhit_pipeline_stage_ms",
 			"simulated per-stage time per horizon (relay: per CI call)",
 			obs.MSBuckets(), obs.Labels{"stage": stage})
 	}
 	return &Marshaller{
-		ex: src, strat: strat, ci: ci, cached: cached,
+		ex: src, strat: strat, ci: ci, cached: cached, casc: costs.Cascade,
 		res:   resilience.NewClient(backend, rcfg, clock),
 		clock: clock,
 		cfg:   cfg, costs: costs,
@@ -381,17 +405,25 @@ func (m *Marshaller) RunDetailed(start, end int) (Report, []dataset.Record, []me
 		if err != nil {
 			return Report{}, nil, nil, nil, fmt.Errorf("pipeline: anchor %d: %w", t, err)
 		}
-		pred := m.strat.Predict(rec)
+		var pred metrics.Prediction
+		predictMS := m.costs.PredictMS
+		if m.casc != nil {
+			// The cascade charges what the ladder walk actually cost this
+			// horizon, not the flat per-horizon figure.
+			pred, predictMS = m.casc.PredictCosted(rec)
+		} else {
+			pred = m.strat.Predict(rec)
+		}
 		rep.Horizons++
 		scanMS := float64(m.costs.Scan.FramesPerHorizon) * m.costs.Scan.PerFrameMS
 		rep.ScanMS += scanMS
-		rep.PredictMS += m.costs.PredictMS
+		rep.PredictMS += predictMS
 		m.scanH.Observe(scanMS)
-		m.predictH.Observe(m.costs.PredictMS)
+		m.predictH.Observe(predictMS)
 		// Scan and predict advance the shared clock too, so breaker
 		// cooldowns elapse on the pipeline's timeline, not only during CI
 		// activity.
-		m.clock.Advance(scanMS + m.costs.PredictMS)
+		m.clock.Advance(scanMS + predictMS)
 		horizon := len(recs)
 		for k, occ := range pred.Occur {
 			if !occ {

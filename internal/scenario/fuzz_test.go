@@ -24,6 +24,7 @@ func fuzzSeeds(t testing.TB) map[string][]byte {
 	}
 	seeds := map[string][]byte{
 		"minimal":             yamlSrc(headOK, streamsOK, stagesOK),
+		"stage-timeout":       yamlSrc(headOK, streamsOK, stagesTimeout),
 		"quoted-description":  yamlSrc([]string{"name: x", `description: "café #1: \"quoted\""`, "task: TA1"}, streamsOK, stagesOK),
 		"invalid-tab":         []byte("name: x\n\tbad: 1\n"),
 		"invalid-dup-key":     []byte("name: x\nname: y\n"),

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"time"
 
 	"eventhit/internal/cicache"
 	"eventhit/internal/cloud"
@@ -267,21 +268,44 @@ func RunWithEnv(spec *Spec, env *harness.Env, par int) (*Report, error) {
 		}
 		rep.Cameras = append(rep.Cameras, co)
 	}
-	for _, st := range spec.Stages {
+	for si, st := range spec.Stages {
 		tasks := st.Tasks()
 		so := StageOut{Name: st.Name, Parallel: st.Run == nil, Tasks: make([]TaskOut, len(tasks))}
 		workers := 1
 		if so.Parallel {
 			workers = par
 		}
-		if err := harness.ForEachCellN(len(tasks), workers, func(i int) error {
-			out, err := runTask(spec, env, cams, tasks[i], par)
-			if err != nil {
-				return fmt.Errorf("scenario: stage %s task %s: %w", st.Name, tasks[i].Name, err)
+		runStage := func() error {
+			return harness.ForEachCellN(len(tasks), workers, func(i int) error {
+				out, err := runTask(spec, env, cams, tasks[i], par)
+				if err != nil {
+					return fmt.Errorf("scenario: stage %s task %s: %w", st.Name, tasks[i].Name, err)
+				}
+				so.Tasks[i] = out
+				return nil
+			})
+		}
+		var err error
+		if st.Timeout > 0 {
+			// The timeout is a wall-clock guard on the stage, not a report
+			// input: a stage that finishes in time yields exactly the bytes
+			// it would without one, and an exceeded stage fails the whole
+			// run positionally. The stage goroutine is abandoned on timeout
+			// (executors have no cancellation points); its StageOut is never
+			// read.
+			done := make(chan error, 1)
+			go func() { done <- runStage() }()
+			timer := time.NewTimer(st.Timeout)
+			select {
+			case err = <-done:
+				timer.Stop()
+			case <-timer.C:
+				return nil, fmt.Errorf("scenario: stages[%d] (%s): exceeded wall-clock timeout %s", si, st.Name, st.Timeout)
 			}
-			so.Tasks[i] = out
-			return nil
-		}); err != nil {
+		} else {
+			err = runStage()
+		}
+		if err != nil {
 			return nil, err
 		}
 		rep.Stages = append(rep.Stages, so)

@@ -130,6 +130,11 @@ func Marshal(s *Spec) []byte {
 	w.key(0, "stages")
 	for _, st := range s.Stages {
 		w.item(1, "name", str(st.Name))
+		if st.Timeout != 0 {
+			// Duration.String() is plain-safe ASCII and reparses to the
+			// same value, so the round-trip identity holds.
+			w.kv(2, "timeout", st.Timeout.String())
+		}
 		if st.Run != nil {
 			w.key(2, "run")
 			writeTask(&w, 3, *st.Run, false)

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"time"
 
 	"eventhit/internal/harness"
 )
@@ -140,7 +141,13 @@ type OutageSpec struct {
 // Parallel (a task group whose members run concurrently, results slotted by
 // index) is set.
 type Stage struct {
-	Name     string
+	Name string
+	// Timeout, when non-zero, bounds the stage's wall-clock execution time;
+	// a stage that exceeds it fails the run with a positional error. The
+	// timeout never enters the report — a stage either finishes (same bytes
+	// as without a timeout) or the run errors — so report determinism is
+	// unaffected.
+	Timeout  time.Duration
 	Run      *TaskSpec
 	Parallel []TaskSpec
 }
@@ -585,6 +592,18 @@ func decodeStages(r *reader, spec *Spec) error {
 			return s.fieldErr("name", "duplicate stage %q", st.Name)
 		}
 		stageSeen[st.Name] = true
+		if v, ok, err := s.optString("timeout"); err != nil {
+			return err
+		} else if ok {
+			d, perr := time.ParseDuration(v)
+			if perr != nil {
+				return s.fieldErr("timeout", "expected a duration (e.g. 30s, 2m), got %q", v)
+			}
+			if d <= 0 {
+				return s.fieldErr("timeout", "must be > 0, got %s", d)
+			}
+			st.Timeout = d
+		}
 		runNode, hasRun := s.optChild("run")
 		parNode, hasPar := s.optChild("parallel")
 		if hasRun == hasPar {

@@ -1,0 +1,141 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stagesTimeout is the shared valid fragment with a per-stage timeout.
+var stagesTimeout = []string{
+	"stages:",
+	"  - name: s",
+	"    timeout: 30s",
+	"    run:",
+	"      name: t",
+	"      kind: fleet",
+}
+
+func TestParseStageTimeout(t *testing.T) {
+	spec, err := Parse(yamlSrc(headOK, streamsOK, stagesTimeout))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := spec.Stages[0].Timeout; got != 30*time.Second {
+		t.Fatalf("Timeout = %v, want 30s", got)
+	}
+	// Compound durations normalize through the canonical form.
+	spec2, err := Parse(yamlSrc(headOK, streamsOK, []string{
+		"stages:", "  - name: s", "    timeout: 90s",
+		"    run:", "      name: t", "      kind: fleet"}))
+	if err != nil {
+		t.Fatalf("Parse(90s): %v", err)
+	}
+	if got := spec2.Stages[0].Timeout; got != 90*time.Second {
+		t.Fatalf("Timeout = %v, want 90s", got)
+	}
+	canon := Marshal(spec2)
+	if !strings.Contains(string(canon), "timeout: 1m30s") {
+		t.Fatalf("canonical form does not carry the normalized timeout:\n%s", canon)
+	}
+	reparsed, err := Parse(canon)
+	if err != nil {
+		t.Fatalf("canonical form rejected: %v\n%s", err, canon)
+	}
+	if reparsed.Stages[0].Timeout != 90*time.Second {
+		t.Fatalf("round-trip changed the timeout: %v", reparsed.Stages[0].Timeout)
+	}
+}
+
+func TestParseStageTimeoutRejects(t *testing.T) {
+	cases := []badCase{
+		{name: "not-a-duration",
+			src: yamlSrc(headOK, streamsOK, []string{
+				"stages:", "  - name: s", "    timeout: fast",
+				"    run:", "      name: t", "      kind: fleet"}),
+			at: "timeout: fast", want: "stages[0].timeout: expected a duration"},
+		{name: "zero",
+			src: yamlSrc(headOK, streamsOK, []string{
+				"stages:", "  - name: s", "    timeout: 0s",
+				"    run:", "      name: t", "      kind: fleet"}),
+			at: "timeout: 0s", want: "stages[0].timeout: must be > 0"},
+		{name: "negative",
+			src: yamlSrc(headOK, streamsOK, []string{
+				"stages:", "  - name: s", "    timeout: -5s",
+				"    run:", "      name: t", "      kind: fleet"}),
+			at: "timeout: -5s", want: "stages[0].timeout: must be > 0"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse accepted invalid spec:\n%s\ngot %+v", tc.src, spec)
+			}
+			if msg := err.Error(); !strings.Contains(msg, tc.want) {
+				t.Fatalf("error %q does not mention %q", msg, tc.want)
+			}
+		})
+	}
+}
+
+// TestStageTimeoutRun holds the runner to the timeout contract on one
+// trained environment: a generous timeout yields a report byte-identical
+// to the no-timeout run (the timeout never enters the report), and an
+// unmeetable timeout fails with the positional stage error.
+func TestStageTimeoutRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a quick env")
+	}
+	spec, err := Parse(yamlSrc(
+		[]string{"name: timeout-probe", "task: TA1", "quick: true", "frames: 40000"},
+		streamsOK,
+		[]string{
+			"stages:",
+			"  - name: marshal",
+			"    run:",
+			"      name: solo",
+			"      kind: pipeline",
+		}))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	env, err := EnvFor(spec)
+	if err != nil {
+		t.Fatalf("EnvFor: %v", err)
+	}
+
+	base, err := RunWithEnv(spec, env, 2)
+	if err != nil {
+		t.Fatalf("RunWithEnv (no timeout): %v", err)
+	}
+	baseJSON, err := MarshalReport(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	generous := *spec
+	generous.Stages = append([]Stage(nil), spec.Stages...)
+	generous.Stages[0].Timeout = time.Hour
+	timed, err := RunWithEnv(&generous, env, 2)
+	if err != nil {
+		t.Fatalf("RunWithEnv (generous timeout): %v", err)
+	}
+	timedJSON, err := MarshalReport(timed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(baseJSON, timedJSON) {
+		t.Fatalf("a met timeout changed the report:\n--- without\n%s\n--- with\n%s", baseJSON, timedJSON)
+	}
+
+	tight := *spec
+	tight.Stages = append([]Stage(nil), spec.Stages...)
+	tight.Stages[0].Timeout = time.Nanosecond
+	if _, err := RunWithEnv(&tight, env, 2); err == nil {
+		t.Fatal("a 1ns stage timeout did not fail the run")
+	} else if want := "scenario: stages[0] (marshal): exceeded wall-clock timeout 1ns"; err.Error() != want {
+		t.Fatalf("timeout error = %q, want %q", err, want)
+	}
+}

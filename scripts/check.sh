@@ -43,6 +43,11 @@
 #              twice and byte-compared, and a benchstat-style perf gate that
 #              times the float vs combined fast hot path and fails if the
 #              speedup drops below a machine-independent 1.5x floor
+#   cascade    the early-inference ladder under -race, the
+#              BENCH_cascade.json schema + acceptance tests (selected point:
+#              |REC delta| <= 0.02 at >= 30% compute cut, exit rates summing
+#              to 1), then regenerate the sweep at harness parallelism 1 and
+#              4 and require both byte-identical to the committed artifact
 set -eu
 
 echo "== gofmt =="
@@ -118,6 +123,18 @@ go test ./internal/harness/ -run 'TestSpeedGoldenJSONShape|TestSpeedArtifact|Tes
 go run ./cmd/eventhitbench -exp speedparity -quick -seed 1 > "$tmpdir/speedparity_a.json"
 go run ./cmd/eventhitbench -exp speedparity -quick -seed 1 > "$tmpdir/speedparity_b.json"
 cmp "$tmpdir/speedparity_a.json" "$tmpdir/speedparity_b.json"
+
+echo "== early-inference cascade (race + schema + artifact) =="
+go test -race ./internal/cascade/ -count=1
+go test ./internal/harness/ -run 'TestCascadeGoldenJSONShape|TestCascadeArtifact|TestCascadeSweepQuick' -count=1
+
+echo "== BENCH_cascade.json regeneration (byte-identical at parallelism 1 and 4) =="
+go run ./cmd/eventhitbench -exp cascade -quick -seed 1 -parallelism 1 \
+    -cascadeout "$tmpdir/cascade_p1.json" >/dev/null
+go run ./cmd/eventhitbench -exp cascade -quick -seed 1 -parallelism 4 \
+    -cascadeout "$tmpdir/cascade_p4.json" >/dev/null
+cmp "$tmpdir/cascade_p1.json" "$tmpdir/cascade_p4.json"
+cmp "$tmpdir/cascade_p1.json" BENCH_cascade.json
 
 echo "== predict fast path perf gate (fast >= 1.5x float) =="
 go test -run '^$' -bench 'BenchmarkPredictHot(Float|Fast)$' -benchtime 1s -count 2 . \
